@@ -1,0 +1,93 @@
+"""Ablations on the design choices DESIGN.md calls out.
+
+1. **Predicate mining strategy**: weakest-precondition atoms (classic
+   BLAST, our default) vs Farkas interpolants at every trace cut (the
+   'Abstractions from proofs' strategy).  Both must converge on the
+   running example; the predicate counts differ.
+2. **Counter parameter sensitivity**: starting k above 1 must not change
+   verdicts, only (possibly) work.
+3. **Initial predicates**: seeding the final predicate set removes all
+   refinement iterations (a pure check, as in Section 4.2's Algorithm
+   Check).
+"""
+
+import pytest
+
+from repro.circ import circ
+from repro.lang import lower_source
+from repro.nesc.programs import TEST_AND_SET_SOURCE
+from repro.smt import terms as T
+
+_STATS: dict = {}
+
+
+@pytest.mark.parametrize("strategy", ["wp-atoms", "interpolants"])
+def test_mining_strategy(benchmark, strategy):
+    cfa = lower_source(TEST_AND_SET_SOURCE)
+    result = benchmark.pedantic(
+        lambda: circ(cfa, race_on="x", strategy=strategy),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.safe
+    _STATS[strategy] = (
+        len(result.predicates),
+        result.stats.outer_iterations,
+        result.stats.elapsed_seconds,
+    )
+    benchmark.extra_info["predicates"] = len(result.predicates)
+    benchmark.extra_info["outer_iterations"] = result.stats.outer_iterations
+
+
+@pytest.mark.parametrize("mode", ["cartesian", "boolean"])
+def test_abstraction_domain(benchmark, mode):
+    """Cartesian (BLAST default) vs the paper's exact boolean Abs.P."""
+    cfa = lower_source(TEST_AND_SET_SOURCE)
+    result = benchmark.pedantic(
+        lambda: circ(cfa, race_on="x", abstraction=mode),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.safe
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["predicates"] = len(result.predicates)
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_counter_start_sensitivity(benchmark, k):
+    cfa = lower_source(TEST_AND_SET_SOURCE)
+    result = benchmark.pedantic(
+        lambda: circ(cfa, race_on="x", k=k), rounds=1, iterations=1
+    )
+    assert result.safe
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["abstract_states"] = result.stats.abstract_states
+
+
+def test_seeded_predicates_need_no_refinement(benchmark):
+    cfa = lower_source(TEST_AND_SET_SOURCE)
+    seeds = [
+        T.eq(T.var("old"), T.var("state")),
+        T.eq(T.var("old"), 0),
+        T.eq(T.var("state"), 0),
+        T.eq(T.var("state"), 1),
+    ]
+    result = benchmark.pedantic(
+        lambda: circ(cfa, race_on="x", initial_predicates=seeds),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.safe
+    assert result.stats.outer_iterations == 1  # no refinement round
+
+
+def test_report(benchmark):
+    benchmark(lambda: None)  # keep the report under --benchmark-only
+    if len(_STATS) < 2:
+        pytest.skip("strategy runs missing")
+    print("\n=== refinement-strategy ablation (fig1) ===")
+    for strategy, (preds, outers, secs) in _STATS.items():
+        print(
+            f"{strategy:14s} predicates={preds:2d} "
+            f"outer_iterations={outers} time={secs:.2f}s"
+        )

@@ -1,0 +1,55 @@
+"""Figure 1: the test-and-set program, its CFA, and the inferred ACFA.
+
+Regenerates the paper's running example end to end: lowering the thread of
+Figure 1(a) into the CFA of Figure 1(b) (same seven locations, three atomic),
+then running CIRC to infer the context ACFA of Figure 1(c) -- locations
+labeled by the value of ``state``, havoc edges ``{state}`` and
+``{x, state}`` -- and the predicate set the paper reports
+(old = state, old = 0, state = 0, state = 1).
+"""
+
+from repro.circ import circ
+from repro.lang import lower_source
+from repro.nesc.programs import TEST_AND_SET_SOURCE
+from repro.smt import terms as T
+
+
+def test_fig1_cfa_shape(benchmark):
+    """Figure 1(b): seven locations, atomic test-and-set block."""
+    cfa = benchmark(lower_source, TEST_AND_SET_SOURCE)
+    assert len(cfa.locations) == 7
+    assert len(cfa.atomic) == 3
+    assert not cfa.is_atomic(cfa.q0)
+    writers = [q for q in cfa.locations if cfa.may_write(q, "x")]
+    assert len(writers) == 1
+    print("\n--- Figure 1(b): CFA ---")
+    print(cfa)
+
+
+def test_fig1_circ_proof(benchmark):
+    """Figure 1(c): CIRC proves race freedom and infers the ACFA."""
+    cfa = lower_source(TEST_AND_SET_SOURCE)
+    result = benchmark.pedantic(
+        lambda: circ(cfa, race_on="x"), rounds=1, iterations=1
+    )
+    assert result.safe
+
+    rendered = {T.pretty(p) for p in result.predicates}
+    # The paper's predicates (Section 2 iterations 2 and 4).
+    assert {"old == state", "old == 0", "state == 0"} <= rendered
+
+    acfa = result.context
+    # Figure 1(c) structure: the start location is unconstrained, some
+    # location pins state = 1 while x is written, and the x-writing edge
+    # exists.
+    assert acfa.label[acfa.q0] == ()
+    assert any("x" in e.havoc for e in acfa.edges)
+    state1 = T.eq(T.var("state"), 1)
+    assert any(state1 in acfa.label[q] for q in acfa.locations)
+    print("\n--- Figure 1(c): inferred context ACFA ---")
+    print(acfa)
+    print("predicates:", sorted(rendered))
+
+    benchmark.extra_info["predicates"] = len(result.predicates)
+    benchmark.extra_info["acfa_size"] = acfa.size
+    benchmark.extra_info["paper"] = "4 predicates (P4), ACFA as Figure 1(c)"

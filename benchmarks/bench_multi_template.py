@@ -1,0 +1,80 @@
+"""The general algorithm: asymmetric thread sets (Section 2.3).
+
+"In general, our algorithm requires that each of the threads be running
+one of finitely many pieces of code."  This bench exercises circ_multi on
+producer/consumer compositions: unboundedly many copies of each template,
+one inferred context ACFA per template, and the circular assume-guarantee
+argument closed over their disjoint union.
+"""
+
+import pytest
+
+from repro.circ import MultiSafe, MultiUnsafe, circ_multi
+from repro.lang import lower_program
+
+HANDOFF = """
+global int buf, full;
+thread producer {
+  while (1) {
+    atomic { assume(full == 0); full = 1; }
+    buf = buf + 1;
+    full = 2;
+  }
+}
+thread consumer {
+  while (1) {
+    atomic { assume(full == 2); full = 3; }
+    buf = 0;
+    full = 0;
+  }
+}
+"""
+
+READER_WRITER = """
+global int data, lk;
+thread writer {
+  while (1) { lock(lk); data = data + 1; unlock(lk); }
+}
+thread reader {
+  local int snap;
+  while (1) { lock(lk); snap = data; unlock(lk); }
+}
+"""
+
+CASES = [
+    ("handoff/buf", HANDOFF, "buf", True),
+    ("handoff/full", HANDOFF, "full", True),
+    (
+        "handoff-broken/buf",
+        HANDOFF.replace("assume(full == 2)", "assume(full == 1)"),
+        "buf",
+        False,
+    ),
+    ("reader-writer/data", READER_WRITER, "data", True),
+    (
+        "reader-writer-nolock/data",
+        READER_WRITER.replace("unlock(lk); ", "").replace("lock(lk); ", ""),
+        "data",
+        False,
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "name,src,var,expect_safe", CASES, ids=[c[0] for c in CASES]
+)
+def test_multi_template(benchmark, name, src, var, expect_safe):
+    cfas = lower_program(src)
+    result = benchmark.pedantic(
+        lambda: circ_multi(cfas, race_on=var), rounds=1, iterations=1
+    )
+    assert result.safe == expect_safe
+    if isinstance(result, MultiSafe):
+        benchmark.extra_info["contexts"] = {
+            n: c.size for n, c in result.contexts.items()
+        }
+    else:
+        assert isinstance(result, MultiUnsafe)
+        benchmark.extra_info["templates_in_witness"] = sorted(
+            set(result.template_of.values())
+        )

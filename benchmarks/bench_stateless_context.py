@@ -1,0 +1,81 @@
+"""Section 1 claim: stateless context models are insufficient.
+
+"In [19], we addressed these issues as follows: (a) we chose as context
+model a relation R on the global variables ... Experiments showed that this
+stateless context model lacks the precision required to prove the safety
+of programs such as the ones described earlier."
+
+For each safe benchmark idiom, this bench runs the stateless
+(thread-modular, [19]-style) checker and CIRC, and reproduces the paper's
+dichotomy: the state-variable / split-phase idioms defeat the stateless
+model but are proved by context inference; trivially protected variables
+are handled by both.
+"""
+
+import pytest
+
+from repro.baselines.threadmodular import (
+    StatelessInsufficient,
+    StatelessSafe,
+    thread_modular,
+)
+from repro.circ import circ
+from repro.lang import lower_source
+from repro.nesc import benchmark as nesc_benchmark
+from repro.nesc.programs import TEST_AND_SET_SOURCE
+
+_RESULTS: dict = {}
+
+# (name, cfa factory, variable, does the stateless model suffice?)
+CASES = [
+    ("fig1", lambda: lower_source(TEST_AND_SET_SOURCE), "x", False),
+    (
+        "gTxByteCnt",
+        lambda: nesc_benchmark("secureTosBase/gTxByteCnt").app.cfa(),
+        "gTxByteCnt",
+        False,
+    ),
+    (
+        "rec_ptr",
+        lambda: nesc_benchmark("surge/rec_ptr").app.cfa(),
+        "rec_ptr",
+        False,
+    ),
+    (
+        "gTxProto",
+        lambda: nesc_benchmark("secureTosBase/gTxProto").app.cfa(),
+        "gTxProto",
+        True,
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "name,make,var,stateless_ok", CASES, ids=[c[0] for c in CASES]
+)
+def test_stateless_vs_circ(benchmark, name, make, var, stateless_ok):
+    cfa = make()
+
+    def run():
+        return thread_modular(cfa, var), circ(cfa, race_on=var)
+
+    stateless, stateful = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stateful.safe, "CIRC must prove every row"
+    if stateless_ok:
+        assert isinstance(stateless, StatelessSafe)
+    else:
+        assert isinstance(stateless, StatelessInsufficient), (
+            f"{name}: the stateless model should fail on this idiom"
+        )
+    _RESULTS[name] = (type(stateless).__name__, "SAFE")
+    benchmark.extra_info["stateless"] = type(stateless).__name__
+    benchmark.extra_info["circ"] = "safe"
+
+
+def test_report(benchmark):
+    benchmark(lambda: None)  # keep the report under --benchmark-only
+    if not _RESULTS:
+        pytest.skip("no rows")
+    print("\n=== stateless ([19]) vs context inference (CIRC) ===")
+    for name, (stateless, stateful) in _RESULTS.items():
+        print(f"{name:12s} stateless: {stateless:22s} CIRC: {stateful}")

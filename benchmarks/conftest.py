@@ -1,0 +1,17 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-table1",
+        action="store_true",
+        default=False,
+        help="run every Table 1 row (including the slow sense/tosPort)",
+    )
+
+
+@pytest.fixture(scope="session")
+def full_table1(request):
+    return request.config.getoption("--full-table1")

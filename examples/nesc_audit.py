@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Audit a TinyOS-style application the way the paper did (Section 6).
+
+Pipeline:
+
+1. run the nesC compiler's flow analysis on each application model --
+   the variables it flags are the ones programmers annotate ``norace``;
+2. run the Eraser-style lockset discipline for a second opinion;
+3. feed every flagged variable to CIRC, which either *proves* the
+   hand-rolled synchronization correct or produces a concrete interleaved
+   race.
+
+Run:  python examples/nesc_audit.py [app]     (app: secureTosBase | surge | sense)
+"""
+
+import sys
+import time
+
+from repro import check_race
+from repro.baselines import flow_analysis, lockset_analysis
+from repro.nesc import benchmarks_for
+
+
+def audit(app_name: str) -> None:
+    print(f"=== auditing {app_name} ===")
+    rows = benchmarks_for(app_name)
+    if not rows:
+        print("unknown application; try secureTosBase, surge or sense")
+        return
+    for bench in rows:
+        var = bench.variable.replace("_buggy", "")
+        cfa = bench.app.cfa()
+        flow = flow_analysis(bench.app)
+        lock = lockset_analysis(cfa)
+        flagged = flow.warns_on(var) or lock.warns_on(var)
+        tag = []
+        if flow.warns_on(var):
+            tag.append("flow")
+        if lock.warns_on(var):
+            tag.append("lockset")
+        print(f"\n{bench.key}: flagged by {tag or 'nobody'}")
+        if bench.note:
+            print(f"  idiom: {bench.note}")
+        if not flagged:
+            print("  baselines are satisfied; skipping CIRC")
+            continue
+        start = time.perf_counter()
+        result = check_race(cfa, var)
+        elapsed = time.perf_counter() - start
+        if result.safe:
+            print(
+                f"  CIRC: SAFE in {elapsed:.1f}s "
+                f"({len(result.predicates)} predicates, "
+                f"ACFA size {result.context.size}) "
+                "-> the baseline warning is a false positive"
+            )
+        else:
+            print(f"  CIRC: RACE in {elapsed:.1f}s -- witness:")
+            for tid, edge in result.steps:
+                print(f"      T{tid}: {edge.op}")
+
+
+def main() -> None:
+    apps = sys.argv[1:] or ["secureTosBase", "surge", "sense"]
+    for app in apps:
+        audit(app)
+
+
+if __name__ == "__main__":
+    main()

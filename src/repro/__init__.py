@@ -1,0 +1,64 @@
+"""repro -- Race Checking by Context Inference (PLDI 2004).
+
+A from-scratch reproduction of the CIRC algorithm of Henzinger, Jhala and
+Majumdar: counterexample-guided race verification of programs with
+unboundedly many threads, built on context models that combine predicate
+abstraction, control-flow quotients (ACFAs), and counter abstraction.
+
+Quickstart::
+
+    from repro import check_race, lower_source
+
+    result = check_race(source_text, "x")
+    if result.safe:
+        print("no race on x:", result.predicates)
+    else:
+        print("race!", result.steps)
+
+Package map:
+
+* :mod:`repro.lang`  -- mini-C concurrent language frontend
+* :mod:`repro.cfa`   -- control flow automata, sp/wp, trace formulas
+* :mod:`repro.smt`   -- CDCL(T) solver for linear integer arithmetic
+* :mod:`repro.exec`  -- concrete multithreaded semantics (test oracle)
+* :mod:`repro.predabs`, :mod:`repro.acfa`, :mod:`repro.context`
+  -- the three context-model abstractions of the paper
+* :mod:`repro.circ`  -- ReachAndBuild, Refine, CIRC, the infinity check
+* :mod:`repro.parametric` -- Appendix A counter-guided verification
+* :mod:`repro.baselines`  -- lockset (Eraser-style) and flow-based checkers
+* :mod:`repro.nesc`  -- the nesC/TinyOS concurrency substrate and the
+  synthetic models of the paper's Table 1 applications
+"""
+
+from .acfa import Acfa, empty_acfa
+from .cfa import CFA, AssignOp, AssumeOp, Edge
+from .circ import CircError, CircSafe, CircUnsafe, circ
+from .exec import MultiProgram, explore, replay
+from .lang import lower_program, lower_source, parse_program
+from .races import check_race, check_race_bounded, racy_variables, shared_variables
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Acfa",
+    "empty_acfa",
+    "CFA",
+    "AssignOp",
+    "AssumeOp",
+    "Edge",
+    "CircError",
+    "CircSafe",
+    "CircUnsafe",
+    "circ",
+    "MultiProgram",
+    "explore",
+    "replay",
+    "lower_program",
+    "lower_source",
+    "parse_program",
+    "check_race",
+    "check_race_bounded",
+    "racy_variables",
+    "shared_variables",
+    "__version__",
+]

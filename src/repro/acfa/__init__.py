@@ -1,0 +1,5 @@
+"""Abstract control flow automata: structure, simulation, minimization."""
+
+from .acfa import Acfa, AcfaEdge, empty_acfa
+from .collapse import collapse
+from .simulate import label_entails, simulates, simulation_relation

@@ -1,0 +1,202 @@
+"""Weak bisimulation minimization of abstract reachability graphs
+(procedure Collapse, Section 5 of the paper).
+
+Collapse turns the ARG built by ReachAndBuild into a small context model:
+
+1. **Local projection** -- every literal mentioning a local variable of the
+   main thread is dropped from location labels ("replaced by unknown"), and
+   local variables are removed from havoc sets.  The result speaks only
+   about globals, as an ACFA must.
+2. **Weak bisimulation quotient** -- locations are partitioned with the
+   projected label and the atomic flag as observables.  Edges that havoc
+   nothing and connect equi-observable locations are silent (tau); the
+   quotient is computed by signature-based partition refinement over the
+   tau-saturated move relation, the standard weak-bisimulation algorithm.
+3. **Quotient ACFA** -- one location per block, labeled with the block's
+   (common) label; parallel edges merge by havoc-set union, so an edge
+   collapsed into a block with its endpoints survives as the self-loop the
+   paper requires; silent self-moves are dropped (the matching CheckSim
+   allows stutter matches for them).
+
+The returned map ``mu`` sends each ARG location to its quotient location,
+which the refinement procedure uses to concretize abstract context traces.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..smt import terms as T
+from .acfa import Acfa, AcfaEdge
+
+__all__ = ["collapse", "project_acfa"]
+
+
+def project_acfa(graph: Acfa, locals_: frozenset[str], name: str | None = None) -> Acfa:
+    """Project an ARG onto the global variables without quotienting.
+
+    Drops local-variable literals from labels and local variables from
+    havoc sets.  This is the view of the ARG through the context interface;
+    the guarantee check (CheckSim) compares this projection against the
+    assumed context ACFA, since context edges never mention locals.
+    """
+    return Acfa(
+        name=name or f"{graph.name}|globals",
+        q0=graph.q0,
+        locations=graph.locations,
+        label={
+            q: _project_label(graph.label[q], locals_)
+            for q in graph.locations
+        },
+        edges=[
+            AcfaEdge(e.src, e.havoc - locals_, e.dst) for e in graph.edges
+        ],
+        atomic=graph.atomic,
+    )
+
+
+def _project_label(
+    label: tuple[T.Term, ...], locals_: frozenset[str]
+) -> tuple[T.Term, ...]:
+    kept = [
+        lit for lit in label if not (T.free_vars(lit) & locals_)
+    ]
+    # Canonical order for use as an observable.
+    return tuple(sorted(set(kept), key=T.pretty))
+
+
+def collapse(
+    graph: Acfa, locals_: frozenset[str], name: str = "context"
+) -> tuple[Acfa, dict[int, int]]:
+    """Minimize ``graph`` into a context ACFA; returns (acfa, mu)."""
+    locs = sorted(graph.locations)
+
+    plabel = {
+        q: _project_label(graph.label[q], locals_) for q in locs
+    }
+    pedges = [
+        AcfaEdge(e.src, e.havoc - locals_, e.dst) for e in graph.edges
+    ]
+
+    obs = {q: (plabel[q], graph.is_atomic(q)) for q in locs}
+
+    # --- tau closure -------------------------------------------------------
+    tau_succ: dict[int, set[int]] = {q: {q} for q in locs}
+    adj: dict[int, list[int]] = {q: [] for q in locs}
+    for e in pedges:
+        if not e.havoc and obs[e.src] == obs[e.dst]:
+            adj[e.src].append(e.dst)
+    for q in locs:
+        stack = [q]
+        while stack:
+            cur = stack.pop()
+            for nxt in adj[cur]:
+                if nxt not in tau_succ[q]:
+                    tau_succ[q].add(nxt)
+                    stack.append(nxt)
+
+    # --- weak moves: tau* . edge . tau* --------------------------------------
+    out_edges: dict[int, list[AcfaEdge]] = {q: [] for q in locs}
+    for e in pedges:
+        out_edges[e.src].append(e)
+    weak: dict[int, set[tuple[frozenset[str], int]]] = {q: set() for q in locs}
+    for q in locs:
+        for mid in tau_succ[q]:
+            for e in out_edges[mid]:
+                for end in tau_succ[e.dst]:
+                    weak[q].add((e.havoc, end))
+
+    # --- partition refinement --------------------------------------------------
+    block: dict[int, int] = {}
+    by_obs: dict[tuple, int] = {}
+    for q in locs:
+        key = obs[q]
+        if key not in by_obs:
+            by_obs[key] = len(by_obs)
+        block[q] = by_obs[key]
+
+    while True:
+        sig: dict[int, tuple] = {}
+        for q in locs:
+            moves: set[tuple[frozenset[str], int]] = set()
+            for havoc, end in weak[q]:
+                target = block[end]
+                if not havoc and target == block[q]:
+                    continue  # silent self-block move
+                moves.add((havoc, target))
+            # Havoc subsumption: an edge that may write Y covers an edge to
+            # the same block writing Y' subset-of Y (havoc means "arbitrary
+            # write", which includes writing the old value back).  Keeping
+            # only maximal havoc sets per target yields the paper's coarser
+            # quotient (e.g. merging all three atomic locations of A1 in
+            # Figure 2).
+            maximal = {
+                (h, b)
+                for (h, b) in moves
+                if not any(
+                    h < h2 for (h2, b2) in moves if b2 == b
+                )
+            }
+            sig[q] = (
+                block[q],
+                frozenset(
+                    (tuple(sorted(h)), b) for h, b in maximal
+                ),
+            )
+        remap: dict[tuple, int] = {}
+        new_block: dict[int, int] = {}
+        for q in locs:
+            key = sig[q]
+            if key not in remap:
+                remap[key] = len(remap)
+            new_block[q] = remap[key]
+        if new_block == block:
+            break
+        block = new_block
+
+    # --- quotient construction ----------------------------------------------------
+    n_blocks = len(set(block.values()))
+    # Renumber blocks so the initial block is 0 and numbering is dense/stable.
+    order: dict[int, int] = {}
+
+    def block_id(b: int) -> int:
+        if b not in order:
+            order[b] = len(order)
+        return order[b]
+
+    block_id(block[graph.q0])
+    for q in locs:
+        block_id(block[q])
+
+    mu = {q: block_id(block[q]) for q in locs}
+    locations = sorted(set(mu.values()))
+    label: dict[int, tuple[T.Term, ...]] = {}
+    atomic: set[int] = set()
+    for q in locs:
+        b = mu[q]
+        label[b] = plabel[q]
+        if graph.is_atomic(q):
+            atomic.add(b)
+    # The start location hosts the unbounded pool of threads that have not
+    # executed anything yet; their presence must not constrain the globals
+    # (an initial-region label here would freeze the initial values forever
+    # through the context invariant).  Figure 1(c) likewise leaves the start
+    # location unlabeled (true).  Weakening a label is always sound.
+    label[mu[graph.q0]] = ()
+
+    edges: list[AcfaEdge] = []
+    for e in pedges:
+        src, dst = mu[e.src], mu[e.dst]
+        if src == dst and not e.havoc:
+            continue  # silent self-loop: matched by stuttering in CheckSim
+        edges.append(AcfaEdge(src, e.havoc, dst))
+
+    acfa = Acfa(
+        name=name,
+        q0=mu[graph.q0],
+        locations=locations,
+        label=label,
+        edges=edges,
+        atomic=atomic,
+    )
+    return acfa, mu

@@ -1,0 +1,93 @@
+"""Simulation checking between ACFAs (procedure CheckSim, Section 4.2).
+
+``simulates(concrete, abstract_)`` decides whether the abstract ACFA
+over-approximates the concrete one: the greatest relation R with
+
+* **labels**: the concrete location's label entails the abstract one;
+* **atomicity**: matched locations agree on the atomic flag (an abstract
+  context that blocks, or fails to block, differently from the behavior it
+  summarizes would change the scheduler);
+* **edges**: every concrete edge ``q --Y--> q'`` is matched by an abstract
+  edge ``a --Y'--> a'`` with ``Y a subset of Y'`` and ``(q', a') in R``.
+  An empty-havoc concrete edge may also be matched by *stuttering* (staying
+  at ``a``), the weak counterpart of the tau-edges that bisimulation
+  minimization collapses: a move that havocs nothing and stays inside the
+  abstract location is invisible to the context's interface.
+
+computed by the standard fixpoint [HHK95], with SMT-backed label entailment.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..smt import terms as T
+from ..smt.solver import is_sat_conjunction
+from .acfa import Acfa
+
+__all__ = ["label_entails", "simulation_relation", "simulates"]
+
+
+def label_entails(
+    antecedent: Sequence[T.Term], consequent: Sequence[T.Term], cache=None
+) -> bool:
+    """Does the literal conjunction ``antecedent`` entail every literal of
+    ``consequent``?"""
+    ante = list(antecedent)
+    for lit in consequent:
+        key = (tuple(ante), lit)
+        if cache is not None and key in cache:
+            if not cache[key]:
+                return False
+            continue
+        holds = not is_sat_conjunction(ante + [T.not_(lit)])
+        if cache is not None:
+            cache[key] = holds
+        if not holds:
+            return False
+    return True
+
+
+def simulation_relation(
+    concrete: Acfa, abstract_: Acfa
+) -> set[tuple[int, int]]:
+    """The greatest simulation relation of ``abstract_`` over ``concrete``."""
+    cache: dict = {}
+    relation: set[tuple[int, int]] = set()
+    for q in concrete.locations:
+        for a in abstract_.locations:
+            if concrete.is_atomic(q) != abstract_.is_atomic(a):
+                continue
+            if label_entails(concrete.label[q], abstract_.label[a], cache):
+                relation.add((q, a))
+
+    changed = True
+    while changed:
+        changed = False
+        for (q, a) in list(relation):
+            if (q, a) not in relation:
+                continue
+            ok = True
+            for e in concrete.out(q):
+                matched = False
+                # Stutter match for invisible moves.
+                if not e.havoc and (e.dst, a) in relation:
+                    matched = True
+                if not matched:
+                    for f in abstract_.out(a):
+                        if e.havoc <= f.havoc and (e.dst, f.dst) in relation:
+                            matched = True
+                            break
+                if not matched:
+                    ok = False
+                    break
+            if not ok:
+                relation.discard((q, a))
+                changed = True
+    return relation
+
+
+def simulates(concrete: Acfa, abstract_: Acfa) -> bool:
+    """CheckSim: is ``concrete`` over-approximated by ``abstract_``?"""
+    relation = simulation_relation(concrete, abstract_)
+    return (concrete.q0, abstract_.q0) in relation

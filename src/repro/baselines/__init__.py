@@ -1,0 +1,16 @@
+"""Baseline race checkers.
+
+* :mod:`lockset` -- Eraser-style static lock discipline;
+* :mod:`flowcheck` -- the nesC compiler's flow analysis;
+* :mod:`threadmodular` -- the authors' prior stateless-context method [19],
+  whose false positives motivate CIRC.
+"""
+
+from .flowcheck import FlowReport, FlowWarning, flow_analysis
+from .lockset import ATOMIC_LOCK, LocksetReport, LocksetWarning, lockset_analysis
+from .threadmodular import (
+    StatelessInsufficient,
+    StatelessSafe,
+    StatelessUnsafe,
+    thread_modular,
+)

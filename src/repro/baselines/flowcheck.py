@@ -1,0 +1,93 @@
+"""The nesC compiler's flow-based race analysis (the paper's other baseline).
+
+Section 6: "The nesC compiler implements a flow based static analysis to
+catch race conditions on shared data variables.  It runs an alias analysis
+to detect which global variables are accessed (transitively) by interrupt
+handlers, and then checks that each such access occurs within an atomic
+section."
+
+This is exactly the check implemented here, over the structural access
+table of a :class:`~repro.nesc.model.NescApp` (our models are alias-free,
+so the alias analysis is the identity).  Variables that fail the check are
+the ones nesC programmers must annotate ``norace`` -- and the ones the
+paper feeds to CIRC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..nesc.model import NescApp
+
+__all__ = ["FlowWarning", "FlowReport", "flow_analysis"]
+
+
+@dataclass(frozen=True)
+class FlowWarning:
+    """A shared variable with an unprotected interrupt-context access."""
+
+    variable: str
+    unprotected_in_event: bool
+    unprotected_in_task: bool
+
+    def __str__(self) -> str:
+        where = []
+        if self.unprotected_in_event:
+            where.append("event context")
+        if self.unprotected_in_task:
+            where.append("task context")
+        return (
+            f"flow: possible race on {self.variable!r} "
+            f"(non-atomic access in {' and '.join(where)}; "
+            f"annotate norace or wrap in atomic)"
+        )
+
+
+@dataclass
+class FlowReport:
+    warnings: list[FlowWarning] = field(default_factory=list)
+    interrupt_shared: frozenset[str] = frozenset()
+
+    def warns_on(self, variable: str) -> bool:
+        return any(w.variable == variable for w in self.warnings)
+
+
+def flow_analysis(app: NescApp) -> FlowReport:
+    """Run the nesC-compiler-style check on an application model."""
+    rows = app.access_table()
+
+    touched_by_event: set[str] = set()
+    written: set[str] = set()
+    for (var, is_write, _in_atomic, in_event) in rows:
+        if in_event:
+            touched_by_event.add(var)
+        if is_write:
+            written.add(var)
+
+    # Only variables reachable from interrupt context can race in the nesC
+    # model (tasks never preempt each other); among those, only written
+    # variables matter.
+    candidates = touched_by_event & written
+
+    warnings = []
+    for var in sorted(candidates):
+        bad_event = any(
+            v == var and in_event and not in_atomic
+            for (v, _w, in_atomic, in_event) in rows
+        )
+        bad_task = any(
+            v == var and not in_event and not in_atomic
+            for (v, _w, in_atomic, in_event) in rows
+        )
+        if bad_event or bad_task:
+            warnings.append(
+                FlowWarning(
+                    variable=var,
+                    unprotected_in_event=bad_event,
+                    unprotected_in_task=bad_task,
+                )
+            )
+    return FlowReport(
+        warnings=warnings, interrupt_shared=frozenset(candidates)
+    )

@@ -1,0 +1,227 @@
+"""Thread-modular verification with stateless contexts (the [19] baseline).
+
+Before CIRC, the authors' thread-modular abstraction refinement (CAV'03,
+"Thread-modular abstraction refinement") modeled the context as a
+*stateless* relation on the global variables: at any point, the other
+threads may transform the globals by any transition the thread itself can
+take, with no memory of their control state.  Section 1 of the PLDI'04
+paper motivates CIRC by the insufficiency of that model: "As context
+threads change the global variables depending on their local states,
+statelessness leads to false positives."
+
+This module reproduces the baseline inside the CIRC machinery: the context
+ACFA is forced to a *single location* whose self-loop havoc edges are the
+collapse of the thread's ARG edges (labels degenerate to true).  The same
+assume-guarantee loop then runs; on the paper's idioms it terminates with
+``StatelessInsufficient`` — the abstract race cannot be refuted by any
+predicate set because the stateless context really can reorder the
+protocol — exactly the false positives the paper reports for [19].
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..acfa.acfa import Acfa, AcfaEdge, empty_acfa
+from ..acfa.collapse import project_acfa
+from ..acfa.simulate import simulates
+from ..cfa.cfa import CFA
+from ..context.state import AbstractProgram
+from ..exec.interp import MultiProgram, replay
+from ..predabs.abstractor import Abstractor
+from ..predabs.region import PredicateSet
+from ..smt import terms as T
+from ..circ.reach import AbstractRaceFound, reach_and_build
+from ..circ.refine import RealRace, Refinement, RefinementFailure, refine
+
+__all__ = [
+    "StatelessSafe",
+    "StatelessUnsafe",
+    "StatelessInsufficient",
+    "thread_modular",
+    "pointwise_collapse",
+]
+
+
+@dataclass
+class StatelessSafe:
+    """Race freedom proved with a stateless (single-location) context."""
+
+    variable: str
+    predicates: tuple[T.Term, ...]
+    context: Acfa
+    elapsed_seconds: float
+
+    @property
+    def safe(self) -> bool:
+        return True
+
+
+@dataclass
+class StatelessUnsafe:
+    """A genuine race (witness validated by replay)."""
+
+    variable: str
+    steps: list
+    n_threads: int
+    elapsed_seconds: float
+
+    @property
+    def safe(self) -> bool:
+        return False
+
+
+@dataclass
+class StatelessInsufficient:
+    """The stateless context model cannot decide the program.
+
+    This is the outcome the paper reports for [19] on state-variable
+    synchronization: the abstract race persists under every refinement
+    because the context model genuinely admits the interference.
+    """
+
+    variable: str
+    predicates: tuple[T.Term, ...]
+    reason: str
+    elapsed_seconds: float
+
+    @property
+    def safe(self) -> bool:
+        return False
+
+
+def pointwise_collapse(graph: Acfa, locals_: frozenset[str]) -> tuple[Acfa, dict[int, int]]:
+    """Collapse an ARG to the control-stateless quotient.
+
+    All data labels are dropped (true) and control state is reduced to the
+    bare minimum the scheduler needs: one non-atomic hub and (when the
+    thread has atomic locations) one atomic hub.  Projected edges become
+    hub-to-hub havoc edges, merged by union; silent self-loops disappear.
+    This is the single-relation context model of [19] expressed as an ACFA
+    (modulo atomicity, which [19]'s lock-based programs did not need but
+    nesC atomic sections do).
+    """
+    projected = project_acfa(graph, locals_)
+    has_atomic = bool(projected.atomic)
+
+    def hub(q: int) -> int:
+        return 1 if (has_atomic and projected.is_atomic(q)) else 0
+
+    merged: dict[tuple[int, int], set[str]] = {}
+    for e in projected.edges:
+        key = (hub(e.src), hub(e.dst))
+        if key[0] == key[1] and not e.havoc:
+            continue  # silent self-loop
+        merged.setdefault(key, set()).update(e.havoc)
+        merged.setdefault(key, set())
+    edges = [
+        AcfaEdge(src, frozenset(h), dst) for (src, dst), h in merged.items()
+    ]
+    locations = [0, 1] if has_atomic else [0]
+    acfa = Acfa(
+        name="stateless",
+        q0=0,
+        locations=locations,
+        label={q: () for q in locations},
+        edges=edges,
+        atomic=[1] if has_atomic else [],
+    )
+    mu = {q: hub(q) for q in graph.locations}
+    return acfa, mu
+
+
+def thread_modular(
+    cfa: CFA,
+    race_on: str,
+    initial_predicates: Iterable[T.Term] = (),
+    max_outer: int = 12,
+    max_inner: int = 12,
+    max_states: int = 200_000,
+) -> StatelessSafe | StatelessUnsafe | StatelessInsufficient:
+    """The [19]-style checker: CIRC's loop with a stateless context model."""
+    start = time.perf_counter()
+    preds = PredicateSet(initial_predicates)
+    k = 1
+
+    for _outer in range(max_outer):
+        abstractor = Abstractor(preds)
+        context: Acfa = empty_acfa("stateless")
+        prev_reach = None
+        mu: dict[int, int] = {}
+        progressed = False
+        for _inner in range(max_inner):
+            program = AbstractProgram(cfa, abstractor, context, k)
+            try:
+                reach = reach_and_build(
+                    program, race_on=race_on, max_states=max_states
+                )
+            except AbstractRaceFound as exc:
+                try:
+                    outcome = refine(
+                        cfa,
+                        race_on,
+                        exc.trace,
+                        exc.state,
+                        context,
+                        prev_reach,
+                        mu,
+                        k,
+                        preds,
+                        strategy="wp-atoms",
+                    )
+                except RefinementFailure as failure:
+                    return StatelessInsufficient(
+                        variable=race_on,
+                        predicates=tuple(preds),
+                        reason=str(failure),
+                        elapsed_seconds=time.perf_counter() - start,
+                    )
+                if isinstance(outcome, RealRace):
+                    mp = MultiProgram.symmetric(cfa, outcome.n_threads)
+                    ok, _ = replay(mp, outcome.steps, race_on=race_on)
+                    if ok:
+                        return StatelessUnsafe(
+                            variable=race_on,
+                            steps=outcome.steps,
+                            n_threads=outcome.n_threads,
+                            elapsed_seconds=time.perf_counter() - start,
+                        )
+                    # A spurious "real" race points at model weakness.
+                    return StatelessInsufficient(
+                        variable=race_on,
+                        predicates=tuple(preds),
+                        reason="witness failed concrete replay",
+                        elapsed_seconds=time.perf_counter() - start,
+                    )
+                assert isinstance(outcome, Refinement)
+                if not outcome.new_predicates and outcome.new_k == k:
+                    return StatelessInsufficient(
+                        variable=race_on,
+                        predicates=tuple(preds),
+                        reason="no further refinement possible",
+                        elapsed_seconds=time.perf_counter() - start,
+                    )
+                preds = preds.extended(outcome.new_predicates)
+                k = outcome.new_k
+                progressed = True
+                break
+
+            if simulates(project_acfa(reach.arg, cfa.locals), context):
+                return StatelessSafe(
+                    variable=race_on,
+                    predicates=tuple(preds),
+                    context=context,
+                    elapsed_seconds=time.perf_counter() - start,
+                )
+            context, mu = pointwise_collapse(reach.arg, cfa.locals)
+            prev_reach = reach
+        if not progressed:
+            break
+    return StatelessInsufficient(
+        variable=race_on,
+        predicates=tuple(preds),
+        reason="iteration budget exhausted without a verdict",
+        elapsed_seconds=time.perf_counter() - start,
+    )

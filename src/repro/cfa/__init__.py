@@ -1,0 +1,4 @@
+"""Control flow automata and their semantic operations."""
+
+from .cfa import CFA, AssignOp, AssumeOp, Edge, Op
+from .ops import SsaBuilder, TraceStep, sp, trace_formula, wp

@@ -1,0 +1,153 @@
+"""Semantic operations on CFA edges: strongest postcondition, weakest
+precondition, and SSA-style trace formulas.
+
+The strongest postcondition is used by predicate abstraction; the weakest
+precondition drives the default predicate-mining strategy of the refinement
+procedure; trace formulas (Figure 5 of the paper) decide the feasibility of
+concretized interleavings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..smt import terms as T
+from .cfa import AssignOp, AssumeOp, Op
+
+__all__ = [
+    "sp",
+    "wp",
+    "SsaBuilder",
+    "TraceStep",
+    "trace_formula",
+]
+
+
+def sp(phi: T.Term, op: Op, fresh: str = "__old") -> T.Term:
+    """Strongest postcondition of ``phi`` under ``op``.
+
+    For ``x := e``::
+
+        sp(phi, x := e)  =  exists x0. phi[x0/x] and x == e[x0/x]
+
+    The existential is expressed by introducing the fresh variable ``x0``
+    (named ``lhs + fresh``); callers that need a quantifier-free region
+    should eliminate it (the predicate abstractor does so via projection).
+    For ``[p]``::
+
+        sp(phi, [p])  =  phi and p
+    """
+    if isinstance(op, AssumeOp):
+        return T.and_(phi, op.pred)
+    if isinstance(op, AssignOp):
+        old = op.lhs + fresh
+        phi0 = T.substitute(phi, {op.lhs: T.var(old)})
+        rhs0 = T.substitute(op.rhs, {op.lhs: T.var(old)})
+        return T.and_(phi0, T.eq(T.var(op.lhs), rhs0))
+    raise TypeError(f"unknown op {op!r}")
+
+
+def wp(phi: T.Term, op: Op) -> T.Term:
+    """Weakest precondition of ``phi`` under ``op``.
+
+    ``wp(phi, x := e) = phi[e/x]``;  ``wp(phi, [p]) = p -> phi`` (we use the
+    stronger ``p and phi`` variant for predicate mining, which corresponds
+    to the feasible branch).
+    """
+    if isinstance(op, AssumeOp):
+        return T.and_(op.pred, phi)
+    if isinstance(op, AssignOp):
+        return T.substitute(phi, {op.lhs: op.rhs})
+    raise TypeError(f"unknown op {op!r}")
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One operation of an interleaved trace.
+
+    ``thread`` identifies which thread executes; thread 0 is the main
+    thread by convention.
+    """
+
+    thread: int
+    op: Op
+
+
+class SsaBuilder:
+    """Static-single-assignment renaming for interleaved traces.
+
+    Globals share one version counter across all threads (they are written
+    in interleaved order); locals are versioned per thread and prefixed with
+    the thread id so distinct threads' locals never collide.
+    """
+
+    SEP = "$"
+
+    def __init__(self, globals_: Iterable[str]):
+        self.globals = frozenset(globals_)
+        self._version: dict[str, int] = {}
+
+    def _base(self, thread: int, name: str) -> str:
+        if name in self.globals:
+            return name
+        return f"t{thread}{self.SEP}{name}"
+
+    def current(self, thread: int, name: str) -> str:
+        base = self._base(thread, name)
+        v = self._version.get(base, 0)
+        return f"{base}{self.SEP}{v}"
+
+    def bump(self, thread: int, name: str) -> str:
+        base = self._base(thread, name)
+        v = self._version.get(base, 0) + 1
+        self._version[base] = v
+        return f"{base}{self.SEP}{v}"
+
+    def rename_term(self, thread: int, term: T.Term) -> T.Term:
+        mapping = {
+            name: T.var(self.current(thread, name))
+            for name in T.free_vars(term)
+        }
+        return T.substitute(term, mapping)
+
+    @staticmethod
+    def unrename(name: str) -> str:
+        """Map an SSA variable back to its program name."""
+        base = name.rsplit(SsaBuilder.SEP, 1)[0]
+        if SsaBuilder.SEP in base:
+            # local: strip the thread prefix
+            base = base.split(SsaBuilder.SEP, 1)[1]
+        return base
+
+    @staticmethod
+    def unrename_term(term: T.Term) -> T.Term:
+        mapping = {
+            name: T.var(SsaBuilder.unrename(name))
+            for name in T.free_vars(term)
+        }
+        return T.substitute(term, mapping)
+
+
+def trace_formula(
+    steps: Sequence[TraceStep], globals_: Iterable[str]
+) -> tuple[list[T.Term], SsaBuilder]:
+    """Build the trace formula of an interleaved trace (paper Figure 5).
+
+    Returns one clause per step (the conjunction is the TF) and the SSA
+    builder used, so callers can map model values or interpolants back to
+    program variables.
+    """
+    ssa = SsaBuilder(globals_)
+    clauses: list[T.Term] = []
+    for step in steps:
+        op = step.op
+        if isinstance(op, AssumeOp):
+            clauses.append(ssa.rename_term(step.thread, op.pred))
+        elif isinstance(op, AssignOp):
+            rhs = ssa.rename_term(step.thread, op.rhs)
+            lhs = ssa.bump(step.thread, op.lhs)
+            clauses.append(T.eq(T.var(lhs), rhs))
+        else:
+            raise TypeError(f"unknown op {op!r}")
+    return clauses, ssa

@@ -1,0 +1,264 @@
+"""The CIRC inference algorithm (Algorithm 5) and the infinity-check
+optimization (Section 5, called omega-CIRC here).
+
+CIRC's outer loop owns the abstraction parameters -- the predicate set P and
+the counter bound k.  Its inner loop performs the circular assume-guarantee
+argument: starting from the empty (do-nothing) context, it alternates
+
+* **assume** -- ReachAndBuild explores the main thread against the current
+  context ACFA and produces an ARG;
+* **guarantee** -- CheckSim tests whether the context simulates the ARG;
+  on success the program is safe (Theorem 1), otherwise the ARG's weak
+  bisimulation quotient becomes the next (weaker) context.
+
+An abstract race aborts the inner loop into Refine, which either produces a
+validated concrete counterexample or refines (P, k) and restarts.
+
+omega-CIRC replaces the unbounded (OMEGA-counted) context of the assume step
+with *exactly k* context threads, then discharges the unbounded case with
+the per-location closure check ``omega_check``: every environment transition
+enabled in the context-only reachability must preserve every ARG location's
+region.  Failure of the check bumps k and reruns.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Literal, Optional
+
+from ..acfa.acfa import Acfa, empty_acfa
+from ..acfa.collapse import collapse, project_acfa
+from ..acfa.simulate import simulates
+from ..cfa.cfa import CFA
+from ..context.state import AbstractProgram
+from ..exec.interp import MultiProgram, replay
+from ..predabs.abstractor import Abstractor
+from ..predabs.region import PredicateSet
+from ..smt import terms as T
+from .omega import omega_check
+from .reach import AbstractRaceFound, ReachResult, reach_and_build
+from .refine import MiningStrategy, RealRace, Refinement, RefinementFailure, refine
+from .result import CircSafe, CircStats, CircUnsafe, IterationRecord
+
+__all__ = ["CircError", "circ", "omega_check"]
+
+Variant = Literal["circ", "omega"]
+
+
+class CircError(RuntimeError):
+    """CIRC did not converge within its iteration budgets."""
+
+
+def circ(
+    cfa: CFA,
+    race_on: str | None = None,
+    check_errors: bool = False,
+    initial_predicates: Iterable[T.Term] = (),
+    k: int = 1,
+    variant: Variant = "circ",
+    strategy: MiningStrategy = "wp-atoms",
+    abstraction: str = "cartesian",
+    max_outer: int = 40,
+    max_inner: int = 40,
+    max_states: int = 500_000,
+    keep_history: bool = False,
+    validate_witness: bool = True,
+) -> CircSafe | CircUnsafe:
+    """Check the symmetric multithreaded program ``cfa``^infinity for races
+    on ``race_on`` (or assertion failures when ``check_errors``).
+
+    Returns :class:`CircSafe` or :class:`CircUnsafe`; raises
+    :class:`CircError` when the iteration budget is exhausted (the problem
+    is undecidable in general -- Theorem 1 gives soundness on termination).
+    """
+    if race_on is None and not check_errors:
+        raise ValueError("nothing to check: give race_on or check_errors")
+    start_time = time.perf_counter()
+    stats = CircStats(final_k=k)
+    preds = PredicateSet(initial_predicates)
+    omega_start = variant == "circ"
+
+    def record(rec: IterationRecord) -> None:
+        if keep_history:
+            stats.history.append(rec)
+
+    for outer in range(1, max_outer + 1):
+        stats.outer_iterations = outer
+        context: Acfa = empty_acfa()
+        mu: dict[int, int] = {}
+        prev_reach: Optional[ReachResult] = None
+        abstractor = Abstractor(preds, mode=abstraction)
+        refined = False
+
+        for inner in range(1, max_inner + 1):
+            stats.inner_iterations += 1
+            program = AbstractProgram(cfa, abstractor, context, k)
+            try:
+                reach = reach_and_build(
+                    program,
+                    race_on=race_on,
+                    check_errors=check_errors,
+                    omega_start=omega_start,
+                    max_states=max_states,
+                )
+            except AbstractRaceFound as exc:
+                record(
+                    IterationRecord(
+                        outer,
+                        inner,
+                        tuple(preds),
+                        k,
+                        acfa=context,
+                        event="race",
+                    )
+                )
+                try:
+                    outcome = refine(
+                        cfa,
+                        race_on,
+                        exc.trace,
+                        exc.state,
+                        context,
+                        prev_reach,
+                        mu,
+                        k,
+                        preds,
+                        strategy=strategy,
+                    )
+                except RefinementFailure:
+                    # The abstract race may be realizable only through an
+                    # interleaving of silent steps that the trace-placement
+                    # heuristic cannot express.  Fall back to a bounded
+                    # explicit-state search, which is sound (it reports
+                    # only genuine races); an inconclusive search re-raises.
+                    outcome = _concrete_fallback(cfa, race_on, check_errors)
+                if isinstance(outcome, RealRace):
+                    if validate_witness:
+                        program_c = MultiProgram.symmetric(
+                            cfa, outcome.n_threads
+                        )
+                        ok, _ = replay(
+                            program_c, outcome.steps, race_on=race_on
+                        )
+                        if not ok:
+                            raise CircError(
+                                "counterexample failed concrete replay"
+                            )
+                    stats.n_predicates = len(preds)
+                    stats.final_k = k
+                    stats.elapsed_seconds = time.perf_counter() - start_time
+                    return CircUnsafe(
+                        variable=race_on,
+                        steps=outcome.steps,
+                        n_threads=outcome.n_threads,
+                        predicates=tuple(preds),
+                        stats=stats,
+                    )
+                assert isinstance(outcome, Refinement)
+                record(
+                    IterationRecord(
+                        outer,
+                        inner,
+                        tuple(preds),
+                        k,
+                        event="refine",
+                        refinement_reason=outcome.reason,
+                        new_predicates=tuple(outcome.new_predicates),
+                    )
+                )
+                preds = preds.extended(outcome.new_predicates)
+                k = outcome.new_k
+                refined = True
+                break
+
+            stats.abstract_states += reach.states_explored
+            record(
+                IterationRecord(
+                    outer,
+                    inner,
+                    tuple(preds),
+                    k,
+                    arg=reach.arg,
+                    acfa=context,
+                    states_explored=reach.states_explored,
+                    event="reach",
+                )
+            )
+
+            if simulates(project_acfa(reach.arg, cfa.locals), context):
+                if variant == "omega" and not omega_check(
+                    reach, context, cfa, k
+                ):
+                    k += 1
+                    refined = True
+                    record(
+                        IterationRecord(
+                            outer,
+                            inner,
+                            tuple(preds),
+                            k,
+                            event="omega-bump",
+                        )
+                    )
+                    break
+                stats.n_predicates = len(preds)
+                stats.final_acfa_size = context.size
+                stats.final_k = k
+                stats.elapsed_seconds = time.perf_counter() - start_time
+                record(
+                    IterationRecord(
+                        outer,
+                        inner,
+                        tuple(preds),
+                        k,
+                        arg=reach.arg,
+                        acfa=context,
+                        event="converged",
+                    )
+                )
+                return CircSafe(
+                    variable=race_on,
+                    predicates=tuple(preds),
+                    context=context,
+                    stats=stats,
+                )
+
+            context, mu = collapse(reach.arg, cfa.locals)
+            prev_reach = reach
+        else:
+            raise CircError(
+                f"inner loop did not converge in {max_inner} iterations"
+            )
+        if not refined:
+            raise CircError("inner loop exited without refinement")
+    raise CircError(f"no verdict after {max_outer} outer iterations")
+
+
+def _concrete_fallback(
+    cfa: CFA, race_on: str | None, check_errors: bool
+) -> RealRace:
+    """Bounded explicit-state search for a genuine race witness.
+
+    Used when Refine can neither realize nor refute an abstract trace (its
+    silent-step placement is a heuristic).  Tries 2..4 symmetric threads
+    with a growing state budget; raises RefinementFailure when inconclusive.
+    """
+    from ..exec.interp import explore
+
+    for n in (2, 3, 4):
+        program = MultiProgram.symmetric(cfa, n)
+        result = explore(
+            program,
+            race_on=race_on,
+            check_errors=check_errors,
+            max_states=60_000 * n,
+        )
+        if result.found:
+            return RealRace(
+                steps=result.witness.steps, model={}, n_threads=n
+            )
+    raise RefinementFailure(
+        "abstract race could not be realized or refuted "
+        "(refinement found no new predicates; bounded concrete search "
+        "found no witness)"
+    )

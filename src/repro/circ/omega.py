@@ -1,0 +1,169 @@
+"""The infinity-check of Section 5 (the heart of omega-CIRC).
+
+After the inner loop converges with exactly ``k`` context threads, the
+check discharges the unbounded case:
+
+1. compute R, the reachable configurations of the *context-only* system
+   A^infinity -- every thread, including the one that will play 'main', is
+   an abstract A-thread; moves are label-guarded havoc transitions, so
+   protocol state (a held lock, a claimed state variable) restricts which
+   configurations arise;
+2. a context transition ``e = q' --Y--> q''`` is *enabled at* an abstract
+   location ``q-bar`` when some configuration in R has a token at ``q'``
+   and a (distinct) token at ``q-bar`` (the paper's rule: ``G.q-bar > 0``
+   when ``q-bar != q'``, ``> 1`` otherwise);
+3. an ARG location ``n`` is *good* for ``e`` when executing the havoc from
+   n's region, constrained by the target label, stays inside n's region:
+   ``(exists Y. r(n)) and r(q'') |= r(n)``;
+4. if every ARG location is good for every transition enabled at its
+   abstract image, A soundly summarizes arbitrarily many threads.
+
+The data carried through R is a conjunction of literals from the finite
+universe of initial-value facts and ACFA labels, so the fixpoint
+terminates; if it exceeds its budget we fall back to the coarse
+"graph-reachable" enabledness (sound: it only enables more transitions,
+making the goodness requirement stricter).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..acfa.acfa import Acfa, AcfaEdge
+from ..acfa.simulate import simulation_relation
+from ..cfa.cfa import CFA
+from ..context.counters import OMEGA, ContextState, counter_dec, counter_inc
+from ..smt import terms as T
+from ..smt.solver import is_sat_conjunction
+from .reach import ReachResult
+
+__all__ = ["omega_check"]
+
+#: Budget for the context-only reachability before falling back.
+MAX_CONTEXT_STATES = 40_000
+
+Config = tuple[frozenset, tuple]  # (literal set, counter map)
+
+
+def _occupied(counts: tuple):
+    for q, v in enumerate(counts):
+        if v is OMEGA or v > 0:
+            yield q
+
+
+def _count_ok(counts: tuple, q: int, need: int) -> bool:
+    v = counts[q]
+    return v is OMEGA or v >= need
+
+
+def _context_only_reach(
+    acfa: Acfa, cfa: CFA, k: int, max_states: int = MAX_CONTEXT_STATES
+) -> Optional[list[Config]]:
+    n = max(acfa.locations) + 1
+    init_literals = frozenset(
+        T.eq(T.var(g), T.num(v))
+        for g, v in sorted(cfa.global_init.items())
+    )
+    init: Config = (
+        init_literals,
+        ContextState.initial_omega(n, acfa.q0).counts,
+    )
+    seen = {init}
+    frontier = [init]
+    configs = [init]
+    while frontier:
+        nxt = []
+        for literals, counts in frontier:
+            # Atomic scheduling: while any token occupies an atomic
+            # location, only tokens at atomic locations move.
+            occupied = list(_occupied(counts))
+            atomic_occupied = [q for q in occupied if acfa.is_atomic(q)]
+            movers = atomic_occupied if atomic_occupied else occupied
+            for q in movers:
+                for e in acfa.out(q):
+                    guard = list(literals) + list(acfa.label[e.src])
+                    if not is_sat_conjunction(guard):
+                        continue
+                    survivors = {
+                        lit
+                        for lit in guard
+                        if not (T.free_vars(lit) & e.havoc)
+                    }
+                    new_literals = frozenset(
+                        survivors | set(acfa.label[e.dst])
+                    )
+                    if not is_sat_conjunction(list(new_literals)):
+                        continue
+                    moved = list(counts)
+                    moved[e.src] = counter_dec(moved[e.src])
+                    moved[e.dst] = counter_inc(moved[e.dst], k)
+                    state: Config = (new_literals, tuple(moved))
+                    if state in seen:
+                        continue
+                    seen.add(state)
+                    if len(seen) > max_states:
+                        return None
+                    configs.append(state)
+                    nxt.append(state)
+        frontier = nxt
+    return configs
+
+
+def _graph_reachable(acfa: Acfa) -> frozenset[int]:
+    reach = {acfa.q0}
+    stack = [acfa.q0]
+    while stack:
+        q = stack.pop()
+        for e in acfa.out(q):
+            if e.dst not in reach:
+                reach.add(e.dst)
+                stack.append(e.dst)
+    return frozenset(reach)
+
+
+def omega_check(reach: ReachResult, acfa: Acfa, cfa: CFA, k: int) -> bool:
+    """Is the converged k-thread context sound for arbitrarily many
+    threads?  (See module docstring.)"""
+    if acfa.is_empty():
+        return not acfa.edges
+
+    configs = _context_only_reach(acfa, cfa, k)
+    if configs is None:
+        coverable = _graph_reachable(acfa)
+
+        def enabled(e: AcfaEdge, a_main: int) -> bool:
+            if acfa.is_atomic(a_main):
+                return False  # main inside atomic: nobody else runs
+            return e.src in coverable and a_main in coverable
+
+    else:
+
+        def enabled(e: AcfaEdge, a_main: int) -> bool:
+            if acfa.is_atomic(a_main):
+                return False  # main inside atomic: nobody else runs
+            need_main = 2 if a_main == e.src else 1
+            for _, counts in configs:
+                if not _count_ok(counts, e.src, 1):
+                    continue
+                if _count_ok(counts, a_main, need_main):
+                    return True
+            return False
+
+    sim = simulation_relation(reach.arg, acfa)
+    related: dict[int, set[int]] = {}
+    for (g, a) in sim:
+        related.setdefault(g, set()).add(a)
+
+    for n in reach.arg.locations:
+        label_n = list(reach.arg.label[n])
+        for e in acfa.edges:
+            if not any(enabled(e, a) for a in related.get(n, ())):
+                continue
+            # Goodness: (exists Y. r(n)) and r(q'') |= r(n).
+            mapping = {v: T.var(v + "__h") for v in e.havoc}
+            projected = [T.substitute(lit, mapping) for lit in label_n]
+            antecedent = projected + list(acfa.label[e.dst])
+            for lit in label_n:
+                if is_sat_conjunction(antecedent + [T.not_(lit)]):
+                    return False
+    return True

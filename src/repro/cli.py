@@ -1,0 +1,302 @@
+"""Command-line interface: ``python -m repro`` or the ``repro-race`` script.
+
+Subcommands
+-----------
+
+``check FILE``
+    Run CIRC on a mini-C program; prove or refute race freedom for
+    unboundedly many threads (per variable, or ``--all`` written globals).
+
+``explore FILE``
+    Exhaustive explicit-state exploration for a fixed thread count
+    (exact on finite-state programs).
+
+``baselines FILE``
+    Run the Eraser-style lockset discipline and the stateless
+    thread-modular checker for comparison.
+
+``cfa FILE``
+    Dump the thread's control flow automaton (text or Graphviz).
+
+``bench [APP]``
+    Run the bundled nesC benchmark models (Table 1 of the paper).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from .baselines.lockset import lockset_analysis
+from .baselines.threadmodular import thread_modular
+from .circ import CircError, circ
+from .exec.interp import MultiProgram, explore
+from .lang.lower import lower_source
+from .races.spec import racy_variables
+from .smt.terms import pretty
+
+__all__ = ["main"]
+
+
+def _load(path: str, thread: str | None):
+    source = Path(path).read_text()
+    return lower_source(source, thread)
+
+
+def _cmd_check(args) -> int:
+    cfa = _load(args.file, args.thread)
+    variables = (
+        sorted(racy_variables(cfa)) if args.all else [args.var]
+    )
+    if not variables or variables == [None]:
+        print("error: give --var NAME or --all", file=sys.stderr)
+        return 2
+    if args.report:
+        from .races.report import audit, render_markdown
+
+        report = audit(
+            cfa,
+            name=Path(args.file).name,
+            variables=None if args.all else variables,
+            variant="omega" if args.omega else "circ",
+            k=args.k,
+        )
+        Path(args.report).write_text(render_markdown(report))
+        print(f"wrote {args.report}")
+        return 1 if report.races else 0
+    status = 0
+    for var in variables:
+        start = time.perf_counter()
+        try:
+            result = circ(
+                cfa,
+                race_on=var,
+                variant="omega" if args.omega else "circ",
+                k=args.k,
+            )
+        except CircError as exc:
+            print(f"{var}: UNDECIDED ({exc})")
+            status = 3
+            continue
+        elapsed = time.perf_counter() - start
+        if result.safe:
+            print(
+                f"{var}: SAFE  [{elapsed:.1f}s, "
+                f"{len(result.predicates)} predicates, "
+                f"ACFA size {result.context.size}]"
+            )
+            if args.verbose:
+                for p in result.predicates:
+                    print(f"    predicate: {pretty(p)}")
+                print(result.context)
+        else:
+            status = 1
+            print(
+                f"{var}: RACE  [{elapsed:.1f}s, "
+                f"{result.n_threads} threads]"
+            )
+            for tid, edge in result.steps:
+                print(f"    T{tid}: {edge.op}")
+    return status
+
+
+def _cmd_explore(args) -> int:
+    cfa = _load(args.file, args.thread)
+    mp = MultiProgram.symmetric(cfa, args.threads)
+    result = explore(
+        mp,
+        race_on=args.var,
+        check_errors=args.errors,
+        max_states=args.max_states,
+    )
+    kind = "assertion failure" if args.errors else f"race on {args.var!r}"
+    if result.found:
+        print(f"FOUND {kind} with {args.threads} threads:")
+        print(result.witness)
+        return 1
+    scope = "complete" if result.complete else "BUDGET EXHAUSTED"
+    print(
+        f"no {kind} with {args.threads} threads "
+        f"({result.visited} states, {scope})"
+    )
+    return 0 if result.complete else 3
+
+
+def _cmd_baselines(args) -> int:
+    cfa = _load(args.file, args.thread)
+    variables = (
+        [args.var] if args.var else sorted(racy_variables(cfa))
+    )
+    lockset = lockset_analysis(cfa)
+    for var in variables:
+        locks = sorted(lockset.candidate.get(var, ()))
+        print(f"{var}:")
+        print(
+            f"  lockset:        "
+            f"{'WARNS' if lockset.warns_on(var) else 'ok'} "
+            f"(candidate lockset {locks})"
+        )
+        stateless = thread_modular(cfa, var)
+        print(f"  thread-modular: {type(stateless).__name__}")
+    return 0
+
+
+def _cmd_redundant(args) -> int:
+    from .races.redundancy import find_redundant_sync
+
+    source = Path(args.file).read_text()
+    findings = find_redundant_sync(
+        source, args.var, thread=args.thread
+    )
+    if not findings:
+        print("no synchronization constructs found")
+        return 0
+    for f in findings:
+        tag = "REDUNDANT" if f.redundant else "needed"
+        print(f"{f.site}: {tag} -- {f.detail}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .exec.simulate import simulate
+
+    cfa = _load(args.file, args.thread)
+    mp = MultiProgram.symmetric(cfa, args.threads)
+    result = simulate(
+        mp,
+        race_on=args.var,
+        check_errors=args.errors,
+        runs=args.runs,
+        max_steps=args.max_steps,
+        seed=args.seed,
+    )
+    if result.found:
+        print(
+            f"random schedule hit a bug after {result.runs} run(s) "
+            f"({result.steps_total} steps):"
+        )
+        print(result.witness)
+        return 1
+    print(
+        f"no bug in {result.runs} random runs "
+        f"({result.steps_total} steps, {result.deadlocks} deadlocked); "
+        "note: absence here proves nothing -- use 'check' for a proof"
+    )
+    return 0
+
+
+def _cmd_cfa(args) -> int:
+    cfa = _load(args.file, args.thread)
+    print(cfa.to_dot() if args.dot else cfa)
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .nesc.programs import BENCHMARKS
+
+    rows = [
+        b
+        for b in BENCHMARKS
+        if args.app is None or b.app_name == args.app
+    ]
+    status = 0
+    for b in rows:
+        var = b.variable.replace("_buggy", "")
+        start = time.perf_counter()
+        result = circ(b.app.cfa(), race_on=var)
+        elapsed = time.perf_counter() - start
+        verdict = "SAFE" if result.safe else "RACE"
+        expected = "SAFE" if b.expect_safe else "RACE"
+        mark = "ok" if verdict == expected else "UNEXPECTED"
+        print(
+            f"{b.key:34s} {verdict:5s} [{elapsed:6.1f}s]  "
+            f"(paper: {b.paper_preds if b.paper_preds is not None else '-'} preds) {mark}"
+        )
+        if mark != "ok":
+            status = 1
+    return status
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-race",
+        description="Race checking by context inference (PLDI 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check", help="CIRC verification (unbounded threads)")
+    p.add_argument("file")
+    p.add_argument("--var", help="global variable to check")
+    p.add_argument("--all", action="store_true", help="check every written global")
+    p.add_argument("--thread", help="thread name for multi-thread files")
+    p.add_argument("--omega", action="store_true", help="use the infinity-check variant")
+    p.add_argument("-k", type=int, default=1, help="initial counter bound")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.add_argument("--report", metavar="FILE", help="write a Markdown audit report")
+    p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser("explore", help="explicit-state search (fixed threads)")
+    p.add_argument("file")
+    p.add_argument("--var", help="race variable")
+    p.add_argument("--errors", action="store_true", help="check assertions instead")
+    p.add_argument("--threads", type=int, default=2)
+    p.add_argument("--max-states", type=int, default=200_000)
+    p.add_argument("--thread", help="thread name")
+    p.set_defaults(func=_cmd_explore)
+
+    p = sub.add_parser("baselines", help="lockset and thread-modular checks")
+    p.add_argument("file")
+    p.add_argument("--var")
+    p.add_argument("--thread")
+    p.set_defaults(func=_cmd_baselines)
+
+    p = sub.add_parser(
+        "redundant", help="find synchronization unnecessary for race freedom"
+    )
+    p.add_argument("file")
+    p.add_argument("--var", required=True)
+    p.add_argument("--thread")
+    p.set_defaults(func=_cmd_redundant)
+
+    p = sub.add_parser("simulate", help="random-schedule smoke testing")
+    p.add_argument("file")
+    p.add_argument("--var", help="race variable")
+    p.add_argument("--errors", action="store_true")
+    p.add_argument("--threads", type=int, default=2)
+    p.add_argument("--runs", type=int, default=100)
+    p.add_argument("--max-steps", type=int, default=400)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--thread")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("cfa", help="dump the control flow automaton")
+    p.add_argument("file")
+    p.add_argument("--dot", action="store_true", help="Graphviz output")
+    p.add_argument("--thread")
+    p.set_defaults(func=_cmd_cfa)
+
+    p = sub.add_parser("bench", help="run the bundled nesC models")
+    p.add_argument("app", nargs="?", help="secureTosBase | surge | sense")
+    p.set_defaults(func=_cmd_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        return 0  # downstream pager closed the pipe
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (SyntaxError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

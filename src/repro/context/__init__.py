@@ -1,0 +1,4 @@
+"""Context abstraction: counters and abstract multithreaded program states."""
+
+from .counters import OMEGA, ContextState, counter_dec, counter_inc
+from .state import AbsState, AbstractProgram, CtxMove, MainMove

@@ -1,0 +1,11 @@
+"""Concrete multithreaded semantics: interpreter, explorer, simulator."""
+
+from .interp import (
+    ConcreteState,
+    ExploreResult,
+    MultiProgram,
+    RaceWitness,
+    explore,
+    replay,
+)
+from .simulate import SimulationResult, simulate

@@ -1,0 +1,8 @@
+"""Mini-C concurrent language frontend: AST, parser, pointers, CFA lowering."""
+
+from . import ast
+from .ast import NONDET, AddrOf, Deref, Nondet, Program, ThreadDef
+from .lexer import LexError, tokenize
+from .lower import LowerError, lower_program, lower_source, lower_thread
+from .parser import ParseError, parse_cond, parse_expr, parse_program
+from .pointers import PointerError, PointsTo, analyze_pointers, eliminate_pointers

@@ -1,0 +1,303 @@
+"""Abstract syntax for the mini-C concurrent language.
+
+The language is the source form of the paper's programs (Figure 1 and the
+nesC models of Section 6): integer globals, per-thread integer locals,
+structured control flow, ``atomic`` blocks (nesC's atomic sections),
+``assume``/``assert``, nondeterministic conditions (``*``), simple
+lock/unlock primitives (recognized by the lockset baseline), and
+non-recursive functions that are inlined during lowering.
+
+Expressions and conditions reuse the SMT term language
+(:mod:`repro.smt.terms`); the single extension is :class:`Nondet`, the
+nondeterministic condition ``*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..smt.terms import Term
+
+__all__ = [
+    "Nondet",
+    "NONDET",
+    "Program",
+    "GlobalDecl",
+    "Function",
+    "ThreadDef",
+    "Stmt",
+    "LocalDecl",
+    "Assign",
+    "AssignCall",
+    "AddrOf",
+    "Deref",
+    "DerefAssign",
+    "If",
+    "While",
+    "Atomic",
+    "Assume",
+    "Assert",
+    "Skip",
+    "Lock",
+    "Unlock",
+    "CallStmt",
+    "Return",
+    "Break",
+    "Block",
+]
+
+
+class Nondet(Term):
+    """The nondeterministic condition ``*``."""
+
+    __slots__ = ()
+
+    def key(self) -> tuple:
+        return ("nondet",)
+
+    def __repr__(self) -> str:
+        return "*"
+
+
+#: The unique nondeterministic-condition marker.
+NONDET = Nondet()
+
+
+class AddrOf(Term):
+    """The address expression ``&x`` (Section 5 memory model)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, *a):
+        raise AttributeError("terms are immutable")
+
+    def key(self) -> tuple:
+        return ("addrof", self.name)
+
+    def __repr__(self) -> str:
+        return f"&{self.name}"
+
+
+class Deref(Term):
+    """The dereference expression ``*p``."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, *a):
+        raise AttributeError("terms are immutable")
+
+    def key(self) -> tuple:
+        return ("deref", self.name)
+
+    def __repr__(self) -> str:
+        return f"*{self.name}"
+
+
+class Stmt:
+    """Base class for statements."""
+
+    __slots__ = ("line",)
+
+
+@dataclass
+class LocalDecl(Stmt):
+    """``local int x;`` / ``local int *p;`` (optionally initialized)."""
+
+    name: str
+    init: Optional[Term] = None
+    pointer: bool = False
+    line: int = 0
+
+
+@dataclass
+class Assign(Stmt):
+    """``x = e;``"""
+
+    lhs: str
+    rhs: Term
+    line: int = 0
+
+
+@dataclass
+class AssignCall(Stmt):
+    """``x = f(e1, ..., en);``"""
+
+    lhs: str
+    func: str
+    args: tuple[Term, ...] = ()
+    line: int = 0
+
+
+@dataclass
+class DerefAssign(Stmt):
+    """``*p = e;`` -- a write through a pointer."""
+
+    pointer: str
+    rhs: Term
+    line: int = 0
+
+
+@dataclass
+class CallStmt(Stmt):
+    """``f(e1, ..., en);``"""
+
+    func: str
+    args: tuple[Term, ...] = ()
+    line: int = 0
+
+
+@dataclass
+class If(Stmt):
+    """``if (c) s1 else s2`` -- ``els`` may be None."""
+
+    cond: Term
+    then: "Stmt"
+    els: Optional["Stmt"] = None
+    line: int = 0
+
+
+@dataclass
+class While(Stmt):
+    """``while (c) s``"""
+
+    cond: Term
+    body: "Stmt"
+    line: int = 0
+
+
+@dataclass
+class Atomic(Stmt):
+    """``atomic { ... }`` -- the body executes without preemption."""
+
+    body: "Block"
+    line: int = 0
+
+
+@dataclass
+class Assume(Stmt):
+    """``assume(c);`` -- blocks unless c holds."""
+
+    cond: Term
+    line: int = 0
+
+
+@dataclass
+class Assert(Stmt):
+    """``assert(c);`` -- reaches the error location when c fails."""
+
+    cond: Term
+    line: int = 0
+
+
+@dataclass
+class Skip(Stmt):
+    """``skip;``"""
+
+    line: int = 0
+
+
+@dataclass
+class Lock(Stmt):
+    """``lock(m);`` -- atomic test-and-set on the mutex variable ``m``."""
+
+    mutex: str
+    line: int = 0
+
+
+@dataclass
+class Unlock(Stmt):
+    """``unlock(m);``"""
+
+    mutex: str
+    line: int = 0
+
+
+@dataclass
+class Return(Stmt):
+    """``return;`` or ``return e;``"""
+
+    value: Optional[Term] = None
+    line: int = 0
+
+
+@dataclass
+class Break(Stmt):
+    """``break;``"""
+
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    """``{ s1 ... sn }``"""
+
+    stmts: tuple[Stmt, ...] = ()
+    line: int = 0
+
+
+@dataclass
+class GlobalDecl:
+    """``global int x;`` / ``global int *p;`` (default initial value 0,
+    which for pointers is the null address)."""
+
+    name: str
+    init: int = 0
+    pointer: bool = False
+    line: int = 0
+
+
+@dataclass
+class Function:
+    """A non-recursive function, inlined at lowering time."""
+
+    name: str
+    params: tuple[str, ...]
+    returns_value: bool
+    body: Block
+    line: int = 0
+
+
+@dataclass
+class ThreadDef:
+    """A thread template; the multithreaded program runs copies of it."""
+
+    name: str
+    body: Block
+    line: int = 0
+
+
+@dataclass
+class Program:
+    """A parsed program: globals, functions, and thread templates."""
+
+    globals: tuple[GlobalDecl, ...] = ()
+    functions: tuple[Function, ...] = ()
+    threads: tuple[ThreadDef, ...] = ()
+
+    def global_names(self) -> frozenset[str]:
+        return frozenset(g.name for g in self.globals)
+
+    def function(self, name: str) -> Function:
+        for f in self.functions:
+            if f.name == name:
+                return f
+        raise KeyError(f"no function named {name!r}")
+
+    def thread(self, name: str | None = None) -> ThreadDef:
+        if name is None:
+            if len(self.threads) != 1:
+                raise ValueError(
+                    "program has multiple threads; specify a name"
+                )
+            return self.threads[0]
+        for t in self.threads:
+            if t.name == name:
+                return t
+        raise KeyError(f"no thread named {name!r}")

@@ -1,0 +1,132 @@
+"""Tokenizer for the mini-C concurrent language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Token", "LexError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "global",
+        "local",
+        "int",
+        "void",
+        "thread",
+        "if",
+        "else",
+        "while",
+        "atomic",
+        "assume",
+        "assert",
+        "skip",
+        "lock",
+        "unlock",
+        "return",
+        "break",
+    }
+)
+
+_PUNCT = (
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "&",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "!",
+    "(",
+    ")",
+    "{",
+    "}",
+    ";",
+    ",",
+)
+
+
+class LexError(SyntaxError):
+    """Raised on malformed input."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'num' | 'kw' | 'punct' | 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.col})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize source text; raises :class:`LexError` on bad characters."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError(f"unterminated comment at line {line}")
+            skipped = source[i : end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            tokens.append(Token("num", source[i:j], line, col))
+            col += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, col))
+            col += j - i
+            i = j
+            continue
+        for p in _PUNCT:
+            if source.startswith(p, i):
+                tokens.append(Token("punct", p, line, col))
+                i += len(p)
+                col += len(p)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r} at line {line}:{col}")
+    tokens.append(Token("eof", "", line, col))
+    return tokens

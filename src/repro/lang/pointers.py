@@ -1,0 +1,322 @@
+"""The Section 5 memory model: pointers, aliasing, and their elimination.
+
+The paper extends the basic integer algorithm to pointer variables: "we
+cannot infer the global memory address being accessed syntactically ...
+for the error check, we ask for every pair of lvalues l1, l2 at a state,
+if the addresses of l1 and l2 can be the same ... we use a flow insensitive
+alias and escape analysis to curtail the possible aliasing relationships."
+
+This module implements that design as a frontend pass:
+
+1. every address-taken variable receives a distinct positive *address
+   constant* (0 is the null address);
+2. a flow-insensitive, inclusion-based (Andersen-style) points-to analysis
+   computes ``pts(p)`` for every single-level pointer;
+3. pointer operations are eliminated by case-splitting over the points-to
+   sets: ``x = *p`` and ``*p = e`` become address-comparison chains over
+   the may-alias targets (a deref with no live target blocks, modeling the
+   paper's treatment of null as an unreachable error path), and ``p = &x``
+   becomes an ordinary constant assignment.
+
+The core verifier then runs unchanged on the pointer-free program, and a
+race on ``x`` automatically covers every access through an alias of ``x``
+-- exactly the lvalue-pair check of Section 5, with the alias analysis
+bounding the pairs explored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..smt import terms as T
+from . import ast as A
+
+__all__ = ["PointerError", "PointsTo", "analyze_pointers", "eliminate_pointers"]
+
+
+class PointerError(ValueError):
+    """Unsupported pointer construct (multi-level, arithmetic, ...)."""
+
+
+@dataclass
+class PointsTo:
+    """Result of the flow-insensitive alias/escape analysis."""
+
+    #: address constant per address-taken variable (1-based; 0 is null)
+    address: dict[str, int] = field(default_factory=dict)
+    #: may-point-to sets per pointer variable
+    pts: dict[str, frozenset[str]] = field(default_factory=dict)
+    #: pointer variable names
+    pointers: frozenset[str] = frozenset()
+
+    def escaped(self) -> frozenset[str]:
+        """Variables whose address is taken (they 'escape' into pointers)."""
+        return frozenset(self.address)
+
+    def may_alias(self, l1: str, l2: str) -> bool:
+        """Can lvalues l1 and l2 denote the same memory? (Section 5's
+        question.)  Plain variables alias only themselves; a pointer deref
+        aliases its points-to set."""
+        s1 = self.pts.get(l1, frozenset({l1}))
+        s2 = self.pts.get(l2, frozenset({l2}))
+        return bool(s1 & s2)
+
+
+def _walk_statements(program: A.Program):
+    """Yield every statement in every thread and function body."""
+
+    def walk(stmt):
+        yield stmt
+        if isinstance(stmt, A.Block):
+            for s in stmt.stmts:
+                yield from walk(s)
+        elif isinstance(stmt, A.If):
+            yield from walk(stmt.then)
+            if stmt.els is not None:
+                yield from walk(stmt.els)
+        elif isinstance(stmt, A.While):
+            yield from walk(stmt.body)
+        elif isinstance(stmt, A.Atomic):
+            yield from walk(stmt.body)
+
+    for thread in program.threads:
+        yield from walk(thread.body)
+    for func in program.functions:
+        yield from walk(func.body)
+
+
+def _collect_pointers(program: A.Program) -> frozenset[str]:
+    names = {g.name for g in program.globals if g.pointer}
+    for stmt in _walk_statements(program):
+        if isinstance(stmt, A.LocalDecl) and stmt.pointer:
+            names.add(stmt.name)
+    return frozenset(names)
+
+
+def _term_mentions(t: T.Term, cls) -> list:
+    return [s for s in T.subterms(t) if isinstance(s, cls)]
+
+
+def analyze_pointers(program: A.Program) -> PointsTo:
+    """Flow-insensitive inclusion-based points-to analysis."""
+    pointers = _collect_pointers(program)
+    address: dict[str, int] = {}
+
+    def addr_of(name: str) -> int:
+        if name in pointers:
+            raise PointerError(
+                f"address of pointer {name!r}: multi-level pointers "
+                "are not supported"
+            )
+        if name not in address:
+            address[name] = len(address) + 1
+        return address[name]
+
+    # Seed sets and subset constraints.
+    pts: dict[str, set[str]] = {p: set() for p in pointers}
+    subset: list[tuple[str, str]] = []  # pts[a] <= pts[b]
+
+    def seed_assign(lhs: str, rhs: T.Term) -> None:
+        if isinstance(rhs, A.AddrOf):
+            addr_of(rhs.name)
+            pts[lhs].add(rhs.name)
+        elif isinstance(rhs, T.Var) and rhs.name in pointers:
+            subset.append((rhs.name, lhs))
+        elif isinstance(rhs, T.IntConst) and rhs.value == 0:
+            pass  # null
+        else:
+            raise PointerError(
+                f"pointer {lhs!r} may only be assigned &var, another "
+                "pointer, or 0 (null)"
+            )
+
+    for stmt in _walk_statements(program):
+        if isinstance(stmt, A.Assign):
+            if stmt.lhs in pointers:
+                seed_assign(stmt.lhs, stmt.rhs)
+            else:
+                for bad in _term_mentions(stmt.rhs, A.AddrOf):
+                    addr_of(bad.name)  # ensure an address exists
+        elif isinstance(stmt, A.LocalDecl) and stmt.pointer:
+            if stmt.init is not None:
+                seed_assign(stmt.name, stmt.init)
+        elif isinstance(stmt, A.DerefAssign):
+            if stmt.pointer not in pointers:
+                raise PointerError(
+                    f"dereference of non-pointer {stmt.pointer!r}"
+                )
+            if _term_mentions(stmt.rhs, A.Deref) or _term_mentions(
+                stmt.rhs, A.AddrOf
+            ):
+                raise PointerError(
+                    "the right-hand side of *p = e must be pointer-free"
+                )
+
+    # Propagate subset constraints to fixpoint.
+    changed = True
+    while changed:
+        changed = False
+        for src, dst in subset:
+            before = len(pts[dst])
+            pts[dst] |= pts[src]
+            if len(pts[dst]) != before:
+                changed = True
+
+    return PointsTo(
+        address=address,
+        pts={p: frozenset(s) for p, s in pts.items()},
+        pointers=pointers,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Elimination
+# ---------------------------------------------------------------------------
+
+
+def _replace_addrof(t: T.Term, info: PointsTo) -> T.Term:
+    def repl(node: T.Term) -> T.Term | None:
+        if isinstance(node, A.AddrOf):
+            return T.num(info.address[node.name])
+        if isinstance(node, A.Deref):
+            raise PointerError(
+                "a dereference may only appear as the entire right-hand "
+                "side of an assignment (x = *p;) or as a write target "
+                "(*p = e;)"
+            )
+        return None
+
+    return T.transform(t, repl)
+
+
+def _deref_chain(
+    pointer: str, targets: Iterable[str], info: PointsTo, make_body
+) -> A.Stmt:
+    """Build the case-split over a pointer's may-targets.
+
+    ``make_body(target)`` returns the statement for one alias case; the
+    fall-through (null or outside the points-to set) blocks.
+    """
+    chain: A.Stmt = A.Assume(T.FALSE)
+    for target in sorted(targets, reverse=True):
+        guard = T.eq(T.var(pointer), T.num(info.address[target]))
+        chain = A.If(guard, make_body(target), chain)
+    return chain
+
+
+class _Rewriter:
+    def __init__(self, info: PointsTo):
+        self.info = info
+
+    def rewrite(self, stmt: A.Stmt) -> A.Stmt:
+        info = self.info
+        if isinstance(stmt, A.Block):
+            return A.Block(
+                tuple(self.rewrite(s) for s in stmt.stmts), stmt.line
+            )
+        if isinstance(stmt, A.If):
+            return A.If(
+                self._cond(stmt.cond),
+                self.rewrite(stmt.then),
+                self.rewrite(stmt.els) if stmt.els is not None else None,
+                stmt.line,
+            )
+        if isinstance(stmt, A.While):
+            return A.While(
+                self._cond(stmt.cond), self.rewrite(stmt.body), stmt.line
+            )
+        if isinstance(stmt, A.Atomic):
+            return A.Atomic(self.rewrite(stmt.body), stmt.line)
+        if isinstance(stmt, (A.Assume, A.Assert)):
+            cls = type(stmt)
+            return cls(self._cond(stmt.cond), stmt.line)
+        if isinstance(stmt, A.LocalDecl):
+            init = stmt.init
+            if init is not None:
+                init = (
+                    _replace_addrof(init, info)
+                    if not isinstance(init, A.Deref)
+                    else init
+                )
+            if isinstance(init, A.Deref):
+                # local int x = *p;  ->  declare then case-split assign.
+                decl = A.LocalDecl(stmt.name, None, False, stmt.line)
+                assign = self._deref_read(stmt.name, init)
+                return A.Block((decl, assign), stmt.line)
+            return A.LocalDecl(stmt.name, init, False, stmt.line)
+        if isinstance(stmt, A.Assign):
+            if isinstance(stmt.rhs, A.Deref):
+                return self._deref_read(stmt.lhs, stmt.rhs)
+            return A.Assign(
+                stmt.lhs, _replace_addrof(stmt.rhs, info), stmt.line
+            )
+        if isinstance(stmt, A.DerefAssign):
+            rhs = _replace_addrof(stmt.rhs, info)
+            targets = info.pts.get(stmt.pointer, frozenset())
+            return _deref_chain(
+                stmt.pointer,
+                targets,
+                info,
+                lambda t: A.Assign(t, rhs, stmt.line),
+            )
+        if isinstance(stmt, (A.AssignCall, A.CallStmt)):
+            args = tuple(
+                _replace_addrof(a, info) for a in stmt.args
+            )
+            if isinstance(stmt, A.AssignCall):
+                return A.AssignCall(stmt.lhs, stmt.func, args, stmt.line)
+            return A.CallStmt(stmt.func, args, stmt.line)
+        if isinstance(stmt, A.Return):
+            value = stmt.value
+            if value is not None:
+                value = _replace_addrof(value, info)
+            return A.Return(value, stmt.line)
+        return stmt  # Skip, Lock, Unlock, Break
+
+    def _cond(self, cond: T.Term) -> T.Term:
+        if isinstance(cond, A.Nondet):
+            return cond
+        return _replace_addrof(cond, self.info)
+
+    def _deref_read(self, lhs: str, deref: A.Deref) -> A.Stmt:
+        info = self.info
+        if deref.name not in info.pointers:
+            raise PointerError(f"dereference of non-pointer {deref.name!r}")
+        targets = info.pts.get(deref.name, frozenset())
+        return _deref_chain(
+            deref.name,
+            targets,
+            info,
+            lambda t: A.Assign(lhs, T.var(t), 0),
+        )
+
+
+def eliminate_pointers(program: A.Program) -> tuple[A.Program, PointsTo]:
+    """Rewrite a program with pointers into an equivalent pointer-free one.
+
+    Returns the rewritten program plus the alias analysis results (for
+    tooling and for the lvalue-pair race question).
+    """
+    info = analyze_pointers(program)
+    if not info.pointers:
+        return program, info
+    rewriter = _Rewriter(info)
+    globals_ = tuple(
+        A.GlobalDecl(g.name, g.init, False, g.line) for g in program.globals
+    )
+    functions = tuple(
+        A.Function(
+            f.name,
+            f.params,
+            f.returns_value,
+            rewriter.rewrite(f.body),
+            f.line,
+        )
+        for f in program.functions
+    )
+    threads = tuple(
+        A.ThreadDef(t.name, rewriter.rewrite(t.body), t.line)
+        for t in program.threads
+    )
+    return A.Program(globals_, functions, threads), info

@@ -1,0 +1,126 @@
+"""Pretty-printing programs back to mini-C source.
+
+The inverse of :mod:`repro.lang.parser` up to formatting: ``unparse``
+renders a :class:`~repro.lang.ast.Program` as source text that re-parses
+to an equivalent AST.  Used by tooling (showing pointer-eliminated or
+otherwise transformed programs) and by the round-trip property tests that
+pin the parser/printer pair.
+"""
+
+from __future__ import annotations
+
+from ..smt import terms as T
+from . import ast as A
+
+__all__ = ["unparse", "unparse_stmt", "unparse_expr"]
+
+
+def unparse_expr(t: T.Term) -> str:
+    """Render an expression or condition."""
+    if isinstance(t, A.Nondet):
+        return "*"
+    if isinstance(t, A.AddrOf):
+        return f"&{t.name}"
+    if isinstance(t, A.Deref):
+        return f"*{t.name}"
+    if isinstance(t, T.Var):
+        return t.name
+    if isinstance(t, T.IntConst):
+        return str(t.value) if t.value >= 0 else f"(0 - {-t.value})"
+    if isinstance(t, T.BoolConst):
+        return "(0 == 0)" if t.value else "(0 == 1)"
+    if isinstance(t, T.Add):
+        return "(" + " + ".join(unparse_expr(a) for a in t.args) + ")"
+    if isinstance(t, T.Sub):
+        return f"({unparse_expr(t.lhs)} - {unparse_expr(t.rhs)})"
+    if isinstance(t, T.Neg):
+        return f"(0 - {unparse_expr(t.arg)})"
+    if isinstance(t, T.Mul):
+        return f"({unparse_expr(t.lhs)} * {unparse_expr(t.rhs)})"
+    if isinstance(t, T.Cmp):
+        return f"({unparse_expr(t.lhs)} {t.op} {unparse_expr(t.rhs)})"
+    if isinstance(t, T.Not):
+        return f"(!{unparse_expr(t.arg)})"
+    if isinstance(t, T.And):
+        return "(" + " && ".join(unparse_expr(a) for a in t.args) + ")"
+    if isinstance(t, T.Or):
+        return "(" + " || ".join(unparse_expr(a) for a in t.args) + ")"
+    raise TypeError(f"cannot unparse {t!r}")
+
+
+def unparse_stmt(stmt: A.Stmt, indent: int = 0) -> str:
+    """Render one statement (with a trailing newline)."""
+    pad = "  " * indent
+
+    def block_body(s: A.Stmt) -> str:
+        if isinstance(s, A.Block):
+            inner = "".join(
+                unparse_stmt(child, indent + 1) for child in s.stmts
+            )
+        else:
+            inner = unparse_stmt(s, indent + 1)
+        return "{\n" + inner + pad + "}"
+
+    if isinstance(stmt, A.Block):
+        return pad + block_body(stmt) + "\n"
+    if isinstance(stmt, A.LocalDecl):
+        star = "*" if stmt.pointer else ""
+        init = f" = {unparse_expr(stmt.init)}" if stmt.init is not None else ""
+        return f"{pad}local int {star}{stmt.name}{init};\n"
+    if isinstance(stmt, A.Assign):
+        return f"{pad}{stmt.lhs} = {unparse_expr(stmt.rhs)};\n"
+    if isinstance(stmt, A.DerefAssign):
+        return f"{pad}*{stmt.pointer} = {unparse_expr(stmt.rhs)};\n"
+    if isinstance(stmt, A.AssignCall):
+        args = ", ".join(unparse_expr(a) for a in stmt.args)
+        return f"{pad}{stmt.lhs} = {stmt.func}({args});\n"
+    if isinstance(stmt, A.CallStmt):
+        args = ", ".join(unparse_expr(a) for a in stmt.args)
+        return f"{pad}{stmt.func}({args});\n"
+    if isinstance(stmt, A.If):
+        out = f"{pad}if ({unparse_expr(stmt.cond)}) {block_body(stmt.then)}"
+        if stmt.els is not None:
+            out += f" else {block_body(stmt.els)}"
+        return out + "\n"
+    if isinstance(stmt, A.While):
+        return (
+            f"{pad}while ({unparse_expr(stmt.cond)}) "
+            f"{block_body(stmt.body)}\n"
+        )
+    if isinstance(stmt, A.Atomic):
+        return f"{pad}atomic {block_body(stmt.body)}\n"
+    if isinstance(stmt, A.Assume):
+        return f"{pad}assume({unparse_expr(stmt.cond)});\n"
+    if isinstance(stmt, A.Assert):
+        return f"{pad}assert({unparse_expr(stmt.cond)});\n"
+    if isinstance(stmt, A.Skip):
+        return f"{pad}skip;\n"
+    if isinstance(stmt, A.Break):
+        return f"{pad}break;\n"
+    if isinstance(stmt, A.Lock):
+        return f"{pad}lock({stmt.mutex});\n"
+    if isinstance(stmt, A.Unlock):
+        return f"{pad}unlock({stmt.mutex});\n"
+    if isinstance(stmt, A.Return):
+        if stmt.value is None:
+            return f"{pad}return;\n"
+        return f"{pad}return {unparse_expr(stmt.value)};\n"
+    raise TypeError(f"cannot unparse {stmt!r}")
+
+
+def unparse(program: A.Program) -> str:
+    """Render a whole program."""
+    parts: list[str] = []
+    for g in program.globals:
+        star = "*" if g.pointer else ""
+        init = f" = {g.init}" if g.init else ""
+        parts.append(f"global int {star}{g.name}{init};\n")
+    for f in program.functions:
+        ret = "int" if f.returns_value else "void"
+        params = ", ".join(f"int {p}" for p in f.params)
+        body = unparse_stmt(f.body, 0).lstrip()
+        parts.append(f"{ret} {f.name}({params}) {body}")
+    for t in program.threads:
+        body = unparse_stmt(t.body, 0).lstrip()
+        parts.append(f"thread {t.name} {body}")
+    return "\n".join(parts)

@@ -1,0 +1,4 @@
+"""nesC/TinyOS substrate: concurrency model and Table 1 application models."""
+
+from .model import Event, NescApp, Task, TASK_LOCK
+from .programs import BENCHMARKS, NescBenchmark, TEST_AND_SET_SOURCE, benchmark, benchmarks_for

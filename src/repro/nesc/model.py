@@ -1,0 +1,206 @@
+"""A nesC/TinyOS-style concurrency model (Section 6 substrate).
+
+TinyOS programs have two concurrency sources: *events* (interrupt handlers,
+which can preempt anything whenever their interrupt is enabled) and *tasks*
+(run-to-completion jobs that never preempt each other but can be preempted
+by events).  Following the paper's methodology, an application is modeled
+as arbitrarily many threads, each executing a big loop that
+nondeterministically fires an enabled interrupt handler or runs a task.
+
+``NescApp`` assembles such a model from handler/task bodies written in the
+mini-C statement language and compiles it to a single thread template
+(mini-C source and CFA) for the CIRC checker.  Task mutual exclusion is
+enforced with a scheduler flag acquired in an atomic section; events guard
+on their interrupt-enable flag.
+
+The structural information (which accesses occur in interrupt context,
+which inside atomic sections) is retained for the flow-based baseline
+checker, which mimics the nesC compiler's race analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..cfa.cfa import CFA
+from ..lang import ast as A
+from ..lang.lower import lower_source
+from ..lang.parser import parse_program
+
+__all__ = ["Event", "Task", "NescApp", "TASK_LOCK"]
+
+#: The scheduler flag serializing tasks.
+TASK_LOCK = "__taskLock"
+
+
+@dataclass
+class Event:
+    """An interrupt handler.
+
+    ``enable_flag``: name of the global modeling the interrupt-enable bit;
+    the handler fires only while it is 1.  ``auto_disable``: hardware
+    clears the bit when the handler is dispatched (re-enabling is the
+    program's job), atomically with the dispatch.
+    """
+
+    name: str
+    body: str
+    enable_flag: str | None = None
+    auto_disable: bool = False
+
+
+@dataclass
+class Task:
+    """A run-to-completion task (serialized against other tasks)."""
+
+    name: str
+    body: str
+
+
+@dataclass
+class NescApp:
+    """A synthetic nesC application."""
+
+    name: str
+    globals: list[tuple[str, int]]
+    events: list[Event] = field(default_factory=list)
+    tasks: list[Task] = field(default_factory=list)
+    functions: str = ""
+    locals_decl: str = ""
+
+    # -- compilation -------------------------------------------------------------
+
+    def thread_source(self) -> str:
+        """The mini-C source of one thread of the model."""
+        lines: list[str] = []
+        for name, init in self.globals:
+            if init:
+                lines.append(f"global int {name} = {init};")
+            else:
+                lines.append(f"global int {name};")
+        if self.tasks:
+            lines.append(f"global int {TASK_LOCK};")
+        if self.functions:
+            lines.append(self.functions)
+        lines.append("thread app {")
+        if self.locals_decl:
+            lines.append(self.locals_decl)
+        lines.append("  while (1) {")
+
+        branches: list[str] = []
+        for ev in self.events:
+            body_lines = []
+            if ev.enable_flag is not None:
+                if ev.auto_disable:
+                    body_lines.append(
+                        f"atomic {{ assume({ev.enable_flag} == 1); "
+                        f"{ev.enable_flag} = 0; }}"
+                    )
+                else:
+                    body_lines.append(f"assume({ev.enable_flag} == 1);")
+            body_lines.append(ev.body)
+            branches.append("\n".join(body_lines))
+        for task in self.tasks:
+            body_lines = [
+                f"atomic {{ assume({TASK_LOCK} == 0); {TASK_LOCK} = 1; }}",
+                task.body,
+                f"{TASK_LOCK} = 0;",
+            ]
+            branches.append("\n".join(body_lines))
+
+        if not branches:
+            branches.append("skip;")
+        for i, branch in enumerate(branches):
+            head = "if (*) {" if i == 0 else "} else if (*) {"
+            if i == len(branches) - 1:
+                head = "} else {" if len(branches) > 1 else head
+            lines.append(head)
+            lines.append(branch)
+        lines.append("}")  # close if chain
+        lines.append("  }")  # while
+        lines.append("}")  # thread
+        return "\n".join(lines)
+
+    def cfa(self) -> CFA:
+        """Lower the model to a CFA thread template."""
+        return lower_source(self.thread_source())
+
+    # -- structural access classification (for the flow baseline) -----------------
+
+    def _body_accesses(self, body: str, in_event: bool):
+        """Yield (variable, is_write, in_atomic, in_event) for a body."""
+        globals_decl = "".join(
+            f"global int {name};" for name, _ in self.globals
+        ) + (f"global int {TASK_LOCK};" if self.tasks else "")
+        source = (
+            globals_decl
+            + (self.functions or "")
+            + "thread probe {"
+            + (self.locals_decl or "")
+            + body
+            + "}"
+        )
+        program = parse_program(source)
+        functions = {f.name: f for f in program.functions}
+        global_names = {name for name, _ in self.globals}
+
+        def walk(stmt, in_atomic: bool, seen: frozenset):
+            from ..smt.terms import free_vars
+
+            if isinstance(stmt, A.Block):
+                for s in stmt.stmts:
+                    yield from walk(s, in_atomic, seen)
+            elif isinstance(stmt, A.Atomic):
+                yield from walk(stmt.body, True, seen)
+            elif isinstance(stmt, A.If):
+                for v in free_vars(stmt.cond) & global_names:
+                    yield (v, False, in_atomic)
+                yield from walk(stmt.then, in_atomic, seen)
+                if stmt.els is not None:
+                    yield from walk(stmt.els, in_atomic, seen)
+            elif isinstance(stmt, A.While):
+                for v in free_vars(stmt.cond) & global_names:
+                    yield (v, False, in_atomic)
+                yield from walk(stmt.body, in_atomic, seen)
+            elif isinstance(stmt, (A.Assume, A.Assert)):
+                for v in free_vars(stmt.cond) & global_names:
+                    yield (v, False, in_atomic)
+            elif isinstance(stmt, A.Assign):
+                for v in free_vars(stmt.rhs) & global_names:
+                    yield (v, False, in_atomic)
+                if stmt.lhs in global_names:
+                    yield (stmt.lhs, True, in_atomic)
+            elif isinstance(stmt, A.LocalDecl):
+                if stmt.init is not None:
+                    for v in free_vars(stmt.init) & global_names:
+                        yield (v, False, in_atomic)
+            elif isinstance(stmt, (A.CallStmt, A.AssignCall)):
+                for arg in stmt.args:
+                    for v in free_vars(arg) & global_names:
+                        yield (v, False, in_atomic)
+                func = functions.get(stmt.func)
+                if func is not None and stmt.func not in seen:
+                    yield from walk(
+                        func.body, in_atomic, seen | {stmt.func}
+                    )
+                if isinstance(stmt, A.AssignCall) and stmt.lhs in global_names:
+                    yield (stmt.lhs, True, in_atomic)
+            elif isinstance(stmt, A.Return):
+                if stmt.value is not None:
+                    for v in free_vars(stmt.value) & global_names:
+                        yield (v, False, in_atomic)
+            # Skip/Lock/Unlock/Break: no global data accesses to classify.
+
+        thread = program.thread("probe")
+        for (v, w, a) in walk(thread.body, False, frozenset()):
+            yield (v, w, a, in_event)
+
+    def access_table(self):
+        """All global accesses: (var, is_write, in_atomic, in_event)."""
+        rows = []
+        for ev in self.events:
+            rows.extend(self._body_accesses(ev.body, in_event=True))
+        for task in self.tasks:
+            rows.extend(self._body_accesses(task.body, in_event=False))
+        return rows

@@ -1,0 +1,426 @@
+"""Synthetic nesC application models for the paper's evaluation (Table 1).
+
+The paper ran CIRC on variables of three TinyOS applications --
+``secureTosBase`` (9539 lines of compiled C), ``surge`` (9697 lines), and
+``sense`` (3019 lines) -- that the nesC compiler's flow analysis had
+flagged (and the programmers had annotated ``norace``).  The sources are
+not in this repository, so each variable's *synchronization idiom* is
+re-created here from Section 6's descriptions:
+
+* **state-variable (test-and-set) protection**: ``gTxByteCnt``,
+  ``gTxRunningCRC`` -- "protected by a state variable much like the example
+  in Section 2";
+* **conditional locking through a function's return value**: ``gTxState``
+  -- "accessed at several places inside a function", with the original
+  bug of an access *after* the state-variable release;
+* **multi-valued state machine with conditional accesses**:
+  ``gRxHeadIndex``;
+* **trivially protected**: ``gTxProto`` (atomic sections only),
+  ``gRxTailIndex`` (task context only);
+* **split-phase interrupt protocol**: ``rec_ptr`` -- handler disables its
+  interrupt, posts a task, writes; the task writes and re-enables;
+* **interrupt-enable plus state variable**: ``tosPort`` -- including the
+  genuine race CIRC found when the resetting interrupt is always enabled.
+
+Each entry records the paper's measured numbers for shape comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .model import Event, NescApp, Task
+
+__all__ = ["NescBenchmark", "TEST_AND_SET_SOURCE", "benchmark", "BENCHMARKS", "benchmarks_for"]
+
+
+#: The paper's Figure 1 program, verbatim.
+TEST_AND_SET_SOURCE = """
+global int x, state;
+thread main {
+  local int old;
+  while (1) {
+    atomic {
+      old = state;
+      if (state == 0) { state = 1; }
+    }
+    if (old == 0) {
+      x = x + 1;
+      state = 0;
+    }
+  }
+}
+"""
+
+
+@dataclass
+class NescBenchmark:
+    """One row of the evaluation: an application model and a race variable."""
+
+    app_name: str  # the paper's application (secureTosBase/surge/sense)
+    variable: str
+    app: NescApp
+    expect_safe: bool
+    paper_preds: Optional[int] = None
+    paper_acfa: Optional[int] = None
+    paper_time: Optional[str] = None
+    note: str = ""
+
+    @property
+    def key(self) -> str:
+        return f"{self.app_name}/{self.variable}"
+
+
+def _state_variable_app(
+    name: str, var: str, state: str, extra_body: str = ""
+) -> NescApp:
+    """The Section 2 test-and-set idiom guarding ``var`` with ``state``."""
+    body = f"""
+      atomic {{ old = {state}; if ({state} == 0) {{ {state} = 1; }} }}
+      if (old == 0) {{
+        {var} = {var} + 1;
+        {extra_body}
+        {state} = 0;
+      }}
+    """
+    return NescApp(
+        name=name,
+        globals=[(var, 0), (state, 0)],
+        events=[Event("dataReady", body)],
+        locals_decl="local int old;",
+    )
+
+
+def _gtx_state_app(buggy: bool) -> NescApp:
+    """Conditional locking on gTxState through a try-lock function.
+
+    The paper's secureTosBase bug: one access to gTxState happened *after*
+    the call that released the state variable; moving it before the call
+    made CIRC report safety.
+    """
+    after_release = (
+        "txRelease(); seen = gTxState;"
+        if buggy
+        else "seen = gTxState; txRelease();"
+    )
+    functions = """
+    int txTryLock() {
+      local int got;
+      got = 0;
+      atomic { if (gTxState == 0) { gTxState = 1; got = 1; } }
+      return got;
+    }
+    void txRelease() { gTxState = 0; }
+    """
+    body = f"""
+      got = txTryLock();
+      if (got == 0) {{
+        skip;
+      }} else {{
+        gTxState = 2;
+        {after_release}
+      }}
+    """
+    return NescApp(
+        name="gTxState" + ("_buggy" if buggy else ""),
+        globals=[("gTxState", 0)],
+        events=[Event("sendDone", body)],
+        functions=functions,
+        locals_decl="local int got; local int seen;",
+    )
+
+
+def _grx_headindex_app() -> NescApp:
+    """Multi-valued state machine with conditional accesses."""
+    body = """
+      atomic { old = gRxState; if (gRxState == 0) { gRxState = 1; } }
+      if (old == 0) {
+        gRxHeadIndex = gRxHeadIndex + 1;
+        atomic { gRxState = 2; }
+        if (gRxHeadIndex > 3) { gRxHeadIndex = 0; }
+        gRxState = 0;
+      }
+    """
+    return NescApp(
+        name="gRxHeadIndex",
+        globals=[("gRxHeadIndex", 0), ("gRxState", 0)],
+        events=[Event("rxReady", body)],
+        locals_decl="local int old;",
+    )
+
+
+def _gtx_proto_app() -> NescApp:
+    """Trivially safe: every access sits inside an atomic section."""
+    return NescApp(
+        name="gTxProto",
+        globals=[("gTxProto", 0)],
+        events=[
+            Event("protoSet", "atomic { gTxProto = gTxProto + 1; }"),
+            Event(
+                "protoClear",
+                "atomic { if (gTxProto > 3) { gTxProto = 0; } }",
+            ),
+        ],
+    )
+
+
+def _grx_tailindex_app() -> NescApp:
+    """Trivially safe: accessed only from (serialized) task context."""
+    return NescApp(
+        name="gRxTailIndex",
+        globals=[("gRxTailIndex", 0)],
+        tasks=[
+            Task(
+                "advanceTail",
+                """
+                gRxTailIndex = gRxTailIndex + 1;
+                if (gRxTailIndex > 7) { gRxTailIndex = 0; }
+                """,
+            )
+        ],
+    )
+
+
+def _rec_ptr_app() -> NescApp:
+    """surge's split-phase protocol on rec_ptr.
+
+    The receive interrupt fires only while enabled; the hardware dispatch
+    disables it.  The handler writes rec_ptr and posts the task; the task
+    writes rec_ptr and re-enables the interrupt.
+    """
+    return NescApp(
+        name="rec_ptr",
+        globals=[("rec_ptr", 0), ("recIntrEn", 1), ("recPending", 0)],
+        events=[
+            Event(
+                "receive",
+                """
+                rec_ptr = rec_ptr + 1;
+                recPending = 1;
+                """,
+                enable_flag="recIntrEn",
+                auto_disable=True,
+            )
+        ],
+        tasks=[
+            Task(
+                "receiveTask",
+                """
+                if (recPending == 1) {
+                  rec_ptr = rec_ptr + 1;
+                  recPending = 0;
+                  recIntrEn = 1;
+                }
+                """,
+            )
+        ],
+    )
+
+
+def _tos_port_app(buggy: bool) -> NescApp:
+    """sense's tosPort: interrupt-enable bit combined with a state variable.
+
+    Buggy version (the race CIRC found): the ADC interrupt that resets the
+    state variable and reads the port is always enabled, so it can fire
+    between a thread's acquisition of the state variable and its write.
+    Fixed version (after the programmer's explanation): the interrupt is
+    enabled only once the write has completed.
+    """
+    if buggy:
+        adc = Event(
+            "adcReady",
+            """
+            sState = 0;
+            seen = tosPort;
+            """,
+        )
+        adc_en_init = 0
+        task_body = """
+          atomic { old = sState; if (sState == 0) { sState = 1; } }
+          if (old == 0) {
+            tosPort = tosPort + 1;
+          }
+        """
+        globals_ = [("tosPort", 0), ("sState", 0)]
+        return NescApp(
+            name="tosPort_buggy",
+            globals=globals_,
+            events=[adc],
+            tasks=[Task("startSense", task_body)],
+            locals_decl="local int old; local int seen;",
+        )
+    adc = Event(
+        "adcReady",
+        """
+        seen = tosPort;
+        sState = 0;
+        """,
+        enable_flag="adcEn",
+        auto_disable=True,
+    )
+    task_body = """
+      atomic { old = sState; if (sState == 0) { sState = 1; } }
+      if (old == 0) {
+        tosPort = tosPort + 1;
+        adcEn = 1;
+      }
+    """
+    return NescApp(
+        name="tosPort",
+        globals=[("tosPort", 0), ("sState", 0), ("adcEn", 0)],
+        events=[adc],
+        tasks=[Task("startSense", task_body)],
+        locals_decl="local int old; local int seen;",
+    )
+
+
+def _benchmarks() -> list[NescBenchmark]:
+    return [
+        NescBenchmark(
+            "secureTosBase",
+            "gTxState",
+            _gtx_state_app(buggy=False),
+            expect_safe=True,
+            paper_preds=11,
+            paper_acfa=23,
+            paper_time="7m38s",
+            note="conditional locking via try-lock return value",
+        ),
+        NescBenchmark(
+            "secureTosBase",
+            "gTxState_buggy",
+            _gtx_state_app(buggy=True),
+            expect_safe=False,
+            note="original code: access after the releasing call",
+        ),
+        NescBenchmark(
+            "secureTosBase",
+            "gTxByteCnt",
+            _state_variable_app("gTxByteCnt", "gTxByteCnt", "gTxState"),
+            expect_safe=True,
+            paper_preds=4,
+            paper_acfa=13,
+            paper_time="1m41s",
+            note="state-variable protection (Section 2 idiom)",
+        ),
+        NescBenchmark(
+            "secureTosBase",
+            "gTxRunningCRC",
+            _state_variable_app(
+                "gTxRunningCRC",
+                "gTxRunningCRC",
+                "gTxState",
+                extra_body="gTxRunningCRC = gTxRunningCRC + 2;",
+            ),
+            expect_safe=True,
+            paper_preds=4,
+            paper_acfa=13,
+            paper_time="1m50s",
+            note="state-variable protection, two guarded writes",
+        ),
+        NescBenchmark(
+            "secureTosBase",
+            "gTxProto",
+            _gtx_proto_app(),
+            expect_safe=True,
+            paper_preds=0,
+            paper_acfa=9,
+            paper_time="12s",
+            note="trivially safe: atomic sections only",
+        ),
+        NescBenchmark(
+            "secureTosBase",
+            "gRxHeadIndex",
+            _grx_headindex_app(),
+            expect_safe=True,
+            paper_preds=8,
+            paper_acfa=64,
+            paper_time="20m50s",
+            note="multi-valued state variable, conditional accesses",
+        ),
+        NescBenchmark(
+            "secureTosBase",
+            "gRxTailIndex",
+            _grx_tailindex_app(),
+            expect_safe=True,
+            paper_preds=0,
+            paper_acfa=5,
+            paper_time="2s",
+            note="trivially safe: task context only",
+        ),
+        NescBenchmark(
+            "surge",
+            "rec_ptr",
+            _rec_ptr_app(),
+            expect_safe=True,
+            paper_preds=4,
+            paper_acfa=23,
+            paper_time="1m18s",
+            note="split-phase interrupt-disable protocol",
+        ),
+        NescBenchmark(
+            "surge",
+            "gTxByteCnt",
+            _state_variable_app("gTxByteCnt", "gTxByteCnt", "gTxState"),
+            expect_safe=True,
+            paper_preds=4,
+            paper_acfa=15,
+            paper_time="1m34s",
+        ),
+        NescBenchmark(
+            "surge",
+            "gTxRunningCRC",
+            _state_variable_app(
+                "gTxRunningCRC",
+                "gTxRunningCRC",
+                "gTxState",
+                extra_body="gTxRunningCRC = gTxRunningCRC + 2;",
+            ),
+            expect_safe=True,
+            paper_preds=4,
+            paper_acfa=15,
+            paper_time="1m45s",
+        ),
+        NescBenchmark(
+            "surge",
+            "gTxState",
+            _gtx_state_app(buggy=False),
+            expect_safe=True,
+            paper_preds=11,
+            paper_acfa=35,
+            paper_time="9m54s",
+        ),
+        NescBenchmark(
+            "sense",
+            "tosPort",
+            _tos_port_app(buggy=False),
+            expect_safe=True,
+            paper_preds=6,
+            paper_acfa=26,
+            paper_time="16m25s",
+            note="interrupt-enable bit + state variable",
+        ),
+        NescBenchmark(
+            "sense",
+            "tosPort_buggy",
+            _tos_port_app(buggy=True),
+            expect_safe=False,
+            note="the race CIRC found: resetting interrupt always enabled",
+        ),
+    ]
+
+
+BENCHMARKS: tuple[NescBenchmark, ...] = tuple(_benchmarks())
+
+
+def benchmark(key: str) -> NescBenchmark:
+    """Look up a benchmark by 'app/variable' key."""
+    for b in BENCHMARKS:
+        if b.key == key:
+            return b
+    raise KeyError(f"no benchmark {key!r}")
+
+
+def benchmarks_for(app_name: str) -> list[NescBenchmark]:
+    return [b for b in BENCHMARKS if b.app_name == app_name]

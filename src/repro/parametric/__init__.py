@@ -1,0 +1,10 @@
+"""Appendix A: counter-guided parameterized verification for finite threads."""
+
+from .finite import CounterProgram, CounterState, FiniteThread, GlobalState
+from .verify import (
+    ParametricSafe,
+    ParametricUnsafe,
+    mutual_exclusion_error,
+    parameterized_verify,
+    race_error,
+)

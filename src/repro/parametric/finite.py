@@ -1,0 +1,220 @@
+"""Finite-state threads and their counter abstractions (Appendix A).
+
+Appendix A of the paper proves that counterexample-guided refinement of the
+counter parameter terminates for finite-state threads: the thread ``T`` has
+finitely many global states and program counters (the pc is its only
+local), and the counter-abstracted program ``(T, k)`` tracks the exact
+number of threads at each pc up to ``k`` (OMEGA beyond).
+
+``FiniteThread`` is the explicit transition system ``(delta, At)``;
+``CounterProgram`` is ``(T, k)`` with the abstract states ``(s, Gamma)``
+where ``s`` valuates the globals and ``Gamma`` counts threads per pc.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from ..cfa.cfa import CFA, AssignOp, AssumeOp
+from ..context.counters import OMEGA, counter_dec, counter_inc
+from ..smt.terms import evaluate
+
+__all__ = ["GlobalState", "FiniteThread", "CounterState", "CounterProgram"]
+
+#: A valuation of the global variables, as a sorted tuple of (name, value).
+GlobalState = tuple[tuple[str, int], ...]
+
+
+def _freeze(env: Mapping[str, int]) -> GlobalState:
+    return tuple(sorted(env.items()))
+
+
+@dataclass(frozen=True)
+class FiniteThread:
+    """An explicit finite-state thread ``(delta, At)``.
+
+    ``transitions`` maps ``(globals, pc)`` to the successor set; ``atomic``
+    holds the (globals, pc) pairs where the thread is atomic (per the
+    paper's At predicate; for CFA-derived threads this depends only on pc).
+    """
+
+    variables: tuple[str, ...]
+    pcs: frozenset[int]
+    initial_globals: GlobalState
+    initial_pc: int
+    transitions: dict[tuple[GlobalState, int], frozenset[tuple[GlobalState, int]]]
+    atomic_pcs: frozenset[int]
+
+    def successors(
+        self, globals_: GlobalState, pc: int
+    ) -> frozenset[tuple[GlobalState, int]]:
+        return self.transitions.get((globals_, pc), frozenset())
+
+    def is_atomic(self, pc: int) -> bool:
+        return pc in self.atomic_pcs
+
+    @classmethod
+    def from_cfa(
+        cls, cfa: CFA, domains: Mapping[str, Sequence[int]]
+    ) -> "FiniteThread":
+        """Enumerate a CFA over finite variable domains.
+
+        The CFA must have no locals besides the pc (Appendix A's setting);
+        every global must be given a domain containing its initial value.
+        Transitions whose successor values fall outside the domain are
+        dropped (the domain is treated as the whole universe).
+        """
+        if cfa.locals:
+            raise ValueError(
+                "Appendix A threads have no locals besides the pc; "
+                f"found {sorted(cfa.locals)}"
+            )
+        missing = cfa.globals - set(domains)
+        if missing:
+            raise ValueError(f"no domain for globals {sorted(missing)}")
+        names = tuple(sorted(cfa.globals))
+        for name in names:
+            if cfa.global_init.get(name, 0) not in domains[name]:
+                raise ValueError(
+                    f"initial value of {name!r} outside its domain"
+                )
+
+        transitions: dict[
+            tuple[GlobalState, int], set[tuple[GlobalState, int]]
+        ] = {}
+        spaces = [domains[name] for name in names]
+        for values in itertools.product(*spaces):
+            env = dict(zip(names, values))
+            gstate = _freeze(env)
+            for q in cfa.locations:
+                for edge in cfa.out(q):
+                    op = edge.op
+                    if isinstance(op, AssumeOp):
+                        if not evaluate(op.pred, env):
+                            continue
+                        succ = (gstate, edge.dst)
+                    elif isinstance(op, AssignOp):
+                        value = evaluate(op.rhs, env)
+                        if value not in domains[op.lhs]:
+                            continue
+                        env2 = dict(env)
+                        env2[op.lhs] = value
+                        succ = (_freeze(env2), edge.dst)
+                    else:
+                        raise TypeError(f"unknown op {op!r}")
+                    transitions.setdefault((gstate, q), set()).add(succ)
+
+        return cls(
+            variables=names,
+            pcs=frozenset(cfa.locations),
+            initial_globals=_freeze(
+                {n: cfa.global_init.get(n, 0) for n in names}
+            ),
+            initial_pc=cfa.q0,
+            transitions={
+                key: frozenset(value) for key, value in transitions.items()
+            },
+            atomic_pcs=frozenset(cfa.atomic),
+        )
+
+
+@dataclass(frozen=True)
+class CounterState:
+    """An abstract state ``(s, Gamma)`` of the counter program ``(T, k)``."""
+
+    globals_: GlobalState
+    counts: tuple  # indexed by sorted pc order; values int or OMEGA
+
+    def __str__(self) -> str:
+        gs = ", ".join(f"{k}={v}" for k, v in self.globals_)
+        return f"<{gs} | {self.counts}>"
+
+
+class CounterProgram:
+    """The counter abstraction ``(T, k)`` of ``T``^infinity (Appendix A)."""
+
+    def __init__(self, thread: FiniteThread, k: int):
+        self.thread = thread
+        self.k = k
+        self.pc_order = tuple(sorted(thread.pcs))
+        self.pc_index = {pc: i for i, pc in enumerate(self.pc_order)}
+
+    def initial(self) -> CounterState:
+        counts = [0] * len(self.pc_order)
+        counts[self.pc_index[self.thread.initial_pc]] = OMEGA
+        return CounterState(self.thread.initial_globals, tuple(counts))
+
+    def count(self, state: CounterState, pc: int) -> object:
+        return state.counts[self.pc_index[pc]]
+
+    def occupied_pcs(self, state: CounterState) -> list[int]:
+        return [
+            pc
+            for pc in self.pc_order
+            if state.counts[self.pc_index[pc]] is OMEGA
+            or state.counts[self.pc_index[pc]] > 0
+        ]
+
+    def is_atomic_state(self, state: CounterState) -> bool:
+        """The abstract At predicate: some occupied pc is atomic."""
+        return any(
+            self.thread.is_atomic(pc) for pc in self.occupied_pcs(state)
+        )
+
+    def successors(self, state: CounterState) -> Iterable[CounterState]:
+        atomic = self.is_atomic_state(state)
+        for pc in self.occupied_pcs(state):
+            if atomic and not self.thread.is_atomic(pc):
+                continue  # clause (e): only the atomic thread moves
+            for (g2, pc2) in self.thread.successors(state.globals_, pc):
+                counts = list(state.counts)
+                i, j = self.pc_index[pc], self.pc_index[pc2]
+                counts[i] = counter_dec(counts[i])
+                counts[j] = counter_inc(counts[j], self.k)
+                yield CounterState(g2, tuple(counts))
+
+    # -- model checking (the ModelCheck procedure) ---------------------------
+
+    def find_counterexample(
+        self,
+        error: Callable[[CounterState], bool],
+        max_states: int = 500_000,
+    ) -> list[CounterState] | None:
+        """Shortest trace to an error state, or None when safe.
+
+        Raises RuntimeError when the state budget is exhausted (cannot
+        happen for genuinely finite-state threads within the budget).
+        """
+        init = self.initial()
+        parent: dict[CounterState, CounterState | None] = {init: None}
+
+        def path_to(state: CounterState) -> list[CounterState]:
+            chain = [state]
+            cur = state
+            while parent[cur] is not None:
+                cur = parent[cur]
+                chain.append(cur)
+            chain.reverse()
+            return chain
+
+        if error(init):
+            return [init]
+        frontier = [init]
+        while frontier:
+            next_frontier: list[CounterState] = []
+            for state in frontier:
+                for nxt in self.successors(state):
+                    if nxt in parent:
+                        continue
+                    parent[nxt] = state
+                    if error(nxt):
+                        return path_to(nxt)
+                    if len(parent) > max_states:
+                        raise RuntimeError(
+                            "counter program exceeded the state budget"
+                        )
+                    next_frontier.append(nxt)
+            frontier = next_frontier
+        return None

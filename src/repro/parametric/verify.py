@@ -1,0 +1,147 @@
+"""Counter-guided parameterized verification (Algorithm 6, Appendix A).
+
+For a finite-state thread ``T`` and error predicate ``E``, the algorithm
+model-checks the counter abstraction ``(T, k)`` with growing ``k``: a
+counterexample of length at most ``k`` steps is also a trace of the
+unbounded program (no counter ever saturates along it -- Lemma 2), hence a
+genuine error; a longer counterexample may be an artifact of saturation, so
+``k`` is incremented.  A safe verdict at any ``k`` is sound (Lemma 1), and
+Theorem 3 guarantees termination for finite-state threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..context.counters import OMEGA
+from .finite import CounterProgram, CounterState, FiniteThread
+
+__all__ = [
+    "ParametricSafe",
+    "ParametricUnsafe",
+    "parameterized_verify",
+    "race_error",
+    "mutual_exclusion_error",
+]
+
+
+@dataclass
+class ParametricSafe:
+    """T^infinity is safe; proved at counter bound ``k``."""
+
+    k: int
+    states_explored: int = 0
+
+    @property
+    def safe(self) -> bool:
+        return True
+
+
+@dataclass
+class ParametricUnsafe:
+    """T^infinity reaches an error; ``trace`` is a genuine witness."""
+
+    k: int
+    trace: list[CounterState]
+
+    @property
+    def safe(self) -> bool:
+        return False
+
+
+def parameterized_verify(
+    thread: FiniteThread,
+    error: Callable[[CounterState], bool],
+    k0: int = 0,
+    max_k: int = 64,
+    max_states: int = 500_000,
+) -> ParametricSafe | ParametricUnsafe:
+    """Algorithm 6: iterate ModelCheck over growing counter bounds."""
+    k = k0
+    while k <= max_k:
+        program = CounterProgram(thread, k)
+        trace = program.find_counterexample(error, max_states=max_states)
+        if trace is None:
+            return ParametricSafe(k=k)
+        m = len(trace) - 1  # number of steps
+        if m <= k:
+            return ParametricUnsafe(k=k, trace=trace)
+        k += 1
+    raise RuntimeError(
+        f"Algorithm 6 did not converge below k = {max_k} "
+        "(is the thread really finite-state?)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Common error predicates
+# ---------------------------------------------------------------------------
+
+
+def _count_at_least(state: CounterState, program_order, pcs, n: int) -> bool:
+    total = 0
+    for pc in pcs:
+        v = state.counts[program_order[pc]]
+        if v is OMEGA:
+            return True
+        total += v
+        if total >= n:
+            return True
+    return False
+
+
+def mutual_exclusion_error(
+    thread: FiniteThread, critical_pcs: frozenset[int] | set[int]
+) -> Callable[[CounterState], bool]:
+    """Error: two or more threads simultaneously in the critical section."""
+    order = {pc: i for i, pc in enumerate(sorted(thread.pcs))}
+
+    def error(state: CounterState) -> bool:
+        return _count_at_least(state, order, critical_pcs, 2)
+
+    return error
+
+
+def race_error(
+    thread: FiniteThread,
+    write_pcs: frozenset[int] | set[int],
+    access_pcs: frozenset[int] | set[int],
+) -> Callable[[CounterState], bool]:
+    """Error: a race state in the sense of Section 4.1.
+
+    Some thread sits at a write pc, another distinct thread at an access
+    pc, and no occupied pc is atomic.
+    """
+    order = {pc: i for i, pc in enumerate(sorted(thread.pcs))}
+    write_pcs = frozenset(write_pcs)
+    access_pcs = frozenset(access_pcs) | write_pcs
+
+    def occupied(state: CounterState, pc: int) -> int:
+        v = state.counts[order[pc]]
+        if v is OMEGA:
+            return 2  # at least two
+        return v
+
+    def error(state: CounterState) -> bool:
+        for pc in state_occupied(state):
+            if thread.is_atomic(pc):
+                return False
+        writers = [pc for pc in write_pcs if occupied(state, pc) > 0]
+        if not writers:
+            return False
+        for w in writers:
+            for a in access_pcs:
+                if occupied(state, a) == 0:
+                    continue
+                if a != w or occupied(state, a) >= 2:
+                    return True
+        return False
+
+    def state_occupied(state: CounterState):
+        for pc, idx in order.items():
+            v = state.counts[idx]
+            if v is OMEGA or v > 0:
+                yield pc
+
+    return error

@@ -1,0 +1,4 @@
+"""Predicate abstraction: cartesian regions and the Abs.P operator."""
+
+from .abstractor import Abstractor
+from .region import BOTTOM, TOP, PredicateSet, Region

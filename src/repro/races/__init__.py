@@ -1,0 +1,5 @@
+"""Race specification, checking entry points, audits, redundancy analysis."""
+
+from .redundancy import RedundancyFinding, SyncSite, find_redundant_sync
+from .report import AuditReport, VariableAudit, audit, render_markdown
+from .spec import check_race, check_race_bounded, racy_variables, shared_variables

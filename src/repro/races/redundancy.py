@@ -1,0 +1,212 @@
+"""Redundant-synchronization detection (the paper's second use case).
+
+Section 1: race detectors "also allow more aggressive programming by
+detecting redundant synchronizations (by verifying the safety of the
+program without the synchronizations)."  In nesC this matters doubly:
+atomic sections are implemented by disabling interrupts, so every
+unnecessary one costs responsiveness.
+
+``find_redundant_sync`` enumerates the synchronization constructs of a
+program (atomic sections and lock/unlock pairs), removes each in turn, and
+re-runs the CIRC verifier: a construct is *redundant for variable x* when
+the program remains race-free on x without it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..circ.circ import CircError, circ
+from ..lang import ast as A
+from ..lang.lower import lower_thread
+from ..lang.parser import parse_program
+
+__all__ = ["SyncSite", "RedundancyFinding", "find_redundant_sync"]
+
+
+@dataclass(frozen=True)
+class SyncSite:
+    """One synchronization construct of the program."""
+
+    kind: str  # 'atomic' | 'lock'
+    ident: str  # description: source line for atomic, mutex name for locks
+    index: int
+
+    def __str__(self) -> str:
+        if self.kind == "atomic":
+            return f"atomic section #{self.index} (line {self.ident})"
+        return f"lock discipline on {self.ident!r}"
+
+
+@dataclass
+class RedundancyFinding:
+    """Verdict for one synchronization site."""
+
+    site: SyncSite
+    redundant: bool
+    detail: str = ""
+
+
+def _atomic_sites(thread: A.ThreadDef) -> list[A.Atomic]:
+    sites: list[A.Atomic] = []
+
+    def walk(stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.Block):
+            for s in stmt.stmts:
+                walk(s)
+        elif isinstance(stmt, A.Atomic):
+            sites.append(stmt)
+            walk(stmt.body)
+        elif isinstance(stmt, A.If):
+            walk(stmt.then)
+            if stmt.els is not None:
+                walk(stmt.els)
+        elif isinstance(stmt, A.While):
+            walk(stmt.body)
+
+    walk(thread.body)
+    return sites
+
+
+def _mutexes(thread: A.ThreadDef) -> list[str]:
+    names: list[str] = []
+
+    def walk(stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.Block):
+            for s in stmt.stmts:
+                walk(s)
+        elif isinstance(stmt, A.Lock):
+            if stmt.mutex not in names:
+                names.append(stmt.mutex)
+        elif isinstance(stmt, A.Atomic):
+            walk(stmt.body)
+        elif isinstance(stmt, A.If):
+            walk(stmt.then)
+            if stmt.els is not None:
+                walk(stmt.els)
+        elif isinstance(stmt, A.While):
+            walk(stmt.body)
+
+    walk(thread.body)
+    return names
+
+
+def _strip(
+    stmt: A.Stmt, drop_atomic: Optional[A.Atomic], drop_mutex: Optional[str]
+) -> A.Stmt:
+    """Rebuild ``stmt`` with one synchronization construct removed."""
+    if isinstance(stmt, A.Block):
+        return A.Block(
+            tuple(_strip(s, drop_atomic, drop_mutex) for s in stmt.stmts),
+            stmt.line,
+        )
+    if isinstance(stmt, A.Atomic):
+        body = _strip(stmt.body, drop_atomic, drop_mutex)
+        if stmt is drop_atomic:
+            return body  # unwrap: the body runs preemptibly
+        return A.Atomic(body, stmt.line)
+    if isinstance(stmt, A.If):
+        return A.If(
+            stmt.cond,
+            _strip(stmt.then, drop_atomic, drop_mutex),
+            _strip(stmt.els, drop_atomic, drop_mutex)
+            if stmt.els is not None
+            else None,
+            stmt.line,
+        )
+    if isinstance(stmt, A.While):
+        return A.While(
+            stmt.cond, _strip(stmt.body, drop_atomic, drop_mutex), stmt.line
+        )
+    if isinstance(stmt, (A.Lock, A.Unlock)) and stmt.mutex == drop_mutex:
+        return A.Skip(stmt.line)
+    return stmt
+
+
+def find_redundant_sync(
+    source: str,
+    variable: str,
+    thread: str | None = None,
+    **circ_options,
+) -> list[RedundancyFinding]:
+    """Which synchronization constructs are unnecessary for race freedom
+    on ``variable``?
+
+    The baseline program must itself verify; otherwise a ValueError is
+    raised (redundancy is only meaningful relative to a correct program).
+    """
+    program = parse_program(source)
+    tdef = program.thread(thread)
+
+    baseline = circ(
+        lower_thread(program, tdef.name), race_on=variable, **circ_options
+    )
+    if not baseline.safe:
+        raise ValueError(
+            f"the program already races on {variable!r}; "
+            "redundancy analysis needs a race-free baseline"
+        )
+
+    findings: list[RedundancyFinding] = []
+
+    def check_variant(site: SyncSite, drop_atomic, drop_mutex) -> None:
+        stripped_threads = tuple(
+            A.ThreadDef(
+                t.name,
+                _strip(t.body, drop_atomic, drop_mutex),
+                t.line,
+            )
+            if t.name == tdef.name
+            else t
+            for t in program.threads
+        )
+        stripped_functions = tuple(
+            A.Function(
+                f.name,
+                f.params,
+                f.returns_value,
+                _strip(f.body, drop_atomic, drop_mutex),
+                f.line,
+            )
+            for f in program.functions
+        )
+        variant = A.Program(
+            program.globals, stripped_functions, stripped_threads
+        )
+        try:
+            result = circ(
+                lower_thread(variant, tdef.name),
+                race_on=variable,
+                **circ_options,
+            )
+        except CircError as exc:
+            findings.append(
+                RedundancyFinding(site, False, f"undecided: {exc}")
+            )
+            return
+        if result.safe:
+            findings.append(
+                RedundancyFinding(
+                    site,
+                    True,
+                    "program remains race-free without it",
+                )
+            )
+        else:
+            findings.append(
+                RedundancyFinding(
+                    site,
+                    False,
+                    f"removal introduces a race "
+                    f"({result.n_threads}-thread witness)",
+                )
+            )
+
+    for i, atomic in enumerate(_atomic_sites(tdef)):
+        site = SyncSite("atomic", str(atomic.line), i)
+        check_variant(site, atomic, None)
+    for i, mutex in enumerate(_mutexes(tdef)):
+        site = SyncSite("lock", mutex, i)
+        check_variant(site, None, mutex)
+    return findings

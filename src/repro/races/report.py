@@ -1,0 +1,160 @@
+"""Markdown audit reports: the Section 6 workflow as a reusable artifact.
+
+``audit`` runs the full pipeline on one thread template -- baseline
+checkers first, CIRC on everything they flag (or on every written global)
+-- and ``render_markdown`` turns the outcome into a report a reviewer can
+read without the tool: per-variable verdicts, the discovered predicates and
+context sizes for proofs, and replayed interleavings for races.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..baselines.lockset import lockset_analysis
+from ..cfa.cfa import CFA
+from ..circ.circ import CircError, circ
+from ..circ.result import CircSafe, CircUnsafe
+from ..smt.terms import pretty
+from .spec import racy_variables
+
+__all__ = ["VariableAudit", "AuditReport", "audit", "render_markdown"]
+
+
+@dataclass
+class VariableAudit:
+    """The audit outcome for one shared variable."""
+
+    variable: str
+    lockset_warns: bool
+    candidate_lockset: tuple[str, ...]
+    verdict: str  # 'safe' | 'race' | 'undecided'
+    elapsed_seconds: float = 0.0
+    predicates: tuple = ()
+    acfa_size: int = 0
+    witness: tuple = ()
+    n_threads: int = 0
+    detail: str = ""
+
+
+@dataclass
+class AuditReport:
+    """A full audit of a thread template."""
+
+    name: str
+    variables: list[VariableAudit] = field(default_factory=list)
+
+    @property
+    def races(self) -> list[VariableAudit]:
+        return [v for v in self.variables if v.verdict == "race"]
+
+    @property
+    def proved(self) -> list[VariableAudit]:
+        return [v for v in self.variables if v.verdict == "safe"]
+
+    @property
+    def false_positives(self) -> list[VariableAudit]:
+        """Baseline warnings that CIRC discharged."""
+        return [
+            v
+            for v in self.variables
+            if v.lockset_warns and v.verdict == "safe"
+        ]
+
+
+def audit(
+    cfa: CFA,
+    name: str = "program",
+    variables: Iterable[str] | None = None,
+    only_flagged: bool = False,
+    **circ_options,
+) -> AuditReport:
+    """Run baselines + CIRC over the shared variables of ``cfa``."""
+    lockset = lockset_analysis(cfa)
+    targets = sorted(variables) if variables else sorted(racy_variables(cfa))
+    report = AuditReport(name=name)
+    for var in targets:
+        warns = lockset.warns_on(var)
+        entry = VariableAudit(
+            variable=var,
+            lockset_warns=warns,
+            candidate_lockset=tuple(sorted(lockset.candidate.get(var, ()))),
+            verdict="undecided",
+        )
+        if only_flagged and not warns:
+            entry.verdict = "safe"
+            entry.detail = "lock discipline satisfied; CIRC skipped"
+            report.variables.append(entry)
+            continue
+        start = time.perf_counter()
+        try:
+            result = circ(cfa, race_on=var, **circ_options)
+        except CircError as exc:
+            entry.detail = str(exc)
+            entry.elapsed_seconds = time.perf_counter() - start
+            report.variables.append(entry)
+            continue
+        entry.elapsed_seconds = time.perf_counter() - start
+        if isinstance(result, CircSafe):
+            entry.verdict = "safe"
+            entry.predicates = result.predicates
+            entry.acfa_size = result.context.size
+        else:
+            assert isinstance(result, CircUnsafe)
+            entry.verdict = "race"
+            entry.witness = tuple(result.steps)
+            entry.n_threads = result.n_threads
+        report.variables.append(entry)
+    return report
+
+
+def render_markdown(report: AuditReport) -> str:
+    """Render an :class:`AuditReport` as a Markdown document."""
+    lines = [f"# Race audit: {report.name}", ""]
+    lines.append(
+        f"{len(report.variables)} shared variable(s) checked; "
+        f"{len(report.proved)} proved race-free, "
+        f"{len(report.races)} racy, "
+        f"{len(report.false_positives)} baseline false positive(s) "
+        "discharged."
+    )
+    lines.append("")
+    lines.append("| variable | lockset | CIRC | time | detail |")
+    lines.append("|---|---|---|---|---|")
+    for v in report.variables:
+        lockset = "warns" if v.lockset_warns else "ok"
+        if v.verdict == "safe":
+            detail = (
+                f"{len(v.predicates)} predicates, ACFA {v.acfa_size}"
+                if v.acfa_size
+                else v.detail or "-"
+            )
+        elif v.verdict == "race":
+            detail = f"witness with {v.n_threads} threads"
+        else:
+            detail = v.detail or "-"
+        lines.append(
+            f"| `{v.variable}` | {lockset} | **{v.verdict}** "
+            f"| {v.elapsed_seconds:.1f}s | {detail} |"
+        )
+    for v in report.variables:
+        if v.verdict == "safe" and v.predicates:
+            lines.append("")
+            lines.append(f"## `{v.variable}`: proof artifacts")
+            lines.append("")
+            lines.append("Discovered predicates:")
+            lines.append("")
+            for p in v.predicates:
+                lines.append(f"- `{pretty(p)}`")
+        elif v.verdict == "race":
+            lines.append("")
+            lines.append(f"## `{v.variable}`: race witness")
+            lines.append("")
+            lines.append("```")
+            for tid, edge in v.witness:
+                lines.append(f"T{tid}: {edge.op}")
+            lines.append("```")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,199 @@
+"""Formula normalization: <=-atom rewriting, NNF, and Tseitin CNF.
+
+The lazy SMT loop wants every theory atom in the single canonical shape
+``expr <= 0`` so that a *negated* atom is again a conjunctive constraint
+(over the integers, ``not (e <= 0)`` is ``-e + 1 <= 0``).  ``rewrite_to_le``
+performs that rewriting at the formula level (equalities become conjunctions
+of two inequalities, disequalities disjunctions), ``to_nnf`` pushes negations
+to the literals, and ``tseitin`` produces an equisatisfiable clause set over
+integer propositional variables with an atom table mapping propositional
+variables back to their :class:`~repro.smt.linear.LinExpr`.
+"""
+
+from __future__ import annotations
+
+from .linear import LinExpr, linearize
+from .terms import (
+    And,
+    BoolConst,
+    Cmp,
+    FALSE,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TRUE,
+    Term,
+    and_,
+    iff,
+    implies,
+    not_,
+    or_,
+)
+
+__all__ = ["rewrite_to_le", "to_nnf", "AtomTable", "tseitin"]
+
+
+def _le_atom(expr: LinExpr) -> Term:
+    """Build the canonical atom term for ``expr <= 0``."""
+    from .terms import le, num
+
+    return le(expr.to_term(), num(0))
+
+
+def rewrite_to_le(t: Term) -> Term:
+    """Rewrite all comparison atoms into ``<=``-form atoms.
+
+    After this pass the only comparisons in the formula have op ``<=`` with a
+    zero right-hand side, so each atom corresponds to exactly one canonical
+    :class:`LinExpr`.
+    """
+    one = LinExpr({}, 1)
+    if isinstance(t, Cmp):
+        diff = linearize(t.lhs) - linearize(t.rhs)
+        if t.op == "<=":
+            return _le_atom(diff)
+        if t.op == "<":
+            return _le_atom(diff + one)
+        if t.op == ">=":
+            return _le_atom(-diff)
+        if t.op == ">":
+            return _le_atom((-diff) + one)
+        if t.op == "==":
+            return and_(_le_atom(diff), _le_atom(-diff))
+        if t.op == "!=":
+            return or_(_le_atom(diff + one), _le_atom((-diff) + one))
+        raise AssertionError(t.op)
+    if isinstance(t, BoolConst):
+        return t
+    if isinstance(t, Not):
+        return not_(rewrite_to_le(t.arg))
+    if isinstance(t, And):
+        return and_(*(rewrite_to_le(a) for a in t.args))
+    if isinstance(t, Or):
+        return or_(*(rewrite_to_le(a) for a in t.args))
+    if isinstance(t, Implies):
+        return implies(rewrite_to_le(t.lhs), rewrite_to_le(t.rhs))
+    if isinstance(t, Iff):
+        return iff(rewrite_to_le(t.lhs), rewrite_to_le(t.rhs))
+    raise TypeError(f"not a formula: {t!r}")
+
+
+def to_nnf(t: Term, negate: bool = False) -> Term:
+    """Negation normal form over <=-atoms.
+
+    A negated ``e <= 0`` atom becomes the atom ``-e + 1 <= 0`` (integers),
+    so the result contains **no** negations at all.
+    """
+    if isinstance(t, BoolConst):
+        return BoolConst(t.value != negate)
+    if isinstance(t, Cmp):
+        if t.op != "<=":
+            raise ValueError("to_nnf expects <=-rewritten formulas")
+        if not negate:
+            return t
+        diff = linearize(t.lhs) - linearize(t.rhs)
+        return _le_atom((-diff) + LinExpr({}, 1))
+    if isinstance(t, Not):
+        return to_nnf(t.arg, not negate)
+    if isinstance(t, And):
+        parts = [to_nnf(a, negate) for a in t.args]
+        return or_(*parts) if negate else and_(*parts)
+    if isinstance(t, Or):
+        parts = [to_nnf(a, negate) for a in t.args]
+        return and_(*parts) if negate else or_(*parts)
+    if isinstance(t, Implies):
+        if negate:
+            return and_(to_nnf(t.lhs), to_nnf(t.rhs, True))
+        return or_(to_nnf(t.lhs, True), to_nnf(t.rhs))
+    if isinstance(t, Iff):
+        a, b = t.lhs, t.rhs
+        if negate:
+            return or_(
+                and_(to_nnf(a), to_nnf(b, True)),
+                and_(to_nnf(a, True), to_nnf(b)),
+            )
+        return or_(
+            and_(to_nnf(a), to_nnf(b)),
+            and_(to_nnf(a, True), to_nnf(b, True)),
+        )
+    raise TypeError(f"not a formula: {t!r}")
+
+
+class AtomTable:
+    """Bidirectional map between propositional variables and LinExpr atoms.
+
+    Propositional variable ``v`` (a positive integer) stands for the theory
+    atom ``expr(v) <= 0``.
+    """
+
+    def __init__(self, allocate):
+        self._allocate = allocate  # callback returning fresh var index
+        self._by_key: dict[tuple, int] = {}
+        self._by_var: dict[int, LinExpr] = {}
+
+    def var_for(self, expr: LinExpr) -> int:
+        key = expr.key()
+        v = self._by_key.get(key)
+        if v is None:
+            v = self._allocate()
+            self._by_key[key] = v
+            self._by_var[v] = expr
+        return v
+
+    def expr_for(self, v: int) -> LinExpr | None:
+        return self._by_var.get(v)
+
+    def theory_vars(self) -> frozenset[int]:
+        return frozenset(self._by_var)
+
+
+def tseitin(nnf: Term, solver, table: AtomTable) -> int | None:
+    """Encode an NNF formula into ``solver`` clauses.
+
+    Returns the literal representing the formula, asserting it as a unit
+    clause, or ``None`` when the formula is the constant TRUE.  The constant
+    FALSE asserts the empty clause.
+    """
+    if nnf == TRUE:
+        return None
+    if nnf == FALSE:
+        solver.add_clause([])
+        return None
+    root = _encode(nnf, solver, table, {})
+    solver.add_clause([root])
+    return root
+
+
+def _encode(t: Term, solver, table: AtomTable, cache: dict[Term, int]) -> int:
+    if t in cache:
+        return cache[t]
+    if isinstance(t, Cmp):
+        diff = linearize(t.lhs) - linearize(t.rhs)
+        lit = table.var_for(diff)
+        cache[t] = lit
+        return lit
+    if isinstance(t, BoolConst):
+        # Encode constants via a fresh pinned variable.
+        v = solver.new_var()
+        solver.add_clause([v if t.value else -v])
+        lit = v if t.value else -v
+        cache[t] = lit
+        return lit
+    if isinstance(t, And):
+        lits = [_encode(a, solver, table, cache) for a in t.args]
+        g = solver.new_var()
+        for lit in lits:
+            solver.add_clause([-g, lit])  # g -> lit
+        solver.add_clause([g] + [-lit for lit in lits])  # all lits -> g
+        cache[t] = g
+        return g
+    if isinstance(t, Or):
+        lits = [_encode(a, solver, table, cache) for a in t.args]
+        g = solver.new_var()
+        solver.add_clause([-g] + lits)  # g -> some lit
+        for lit in lits:
+            solver.add_clause([g, -lit])  # lit -> g
+        cache[t] = g
+        return g
+    raise TypeError(f"unexpected node in NNF: {t!r}")

@@ -1,0 +1,207 @@
+"""Craig interpolation for trace formulas.
+
+The refinement procedure of the paper mines new predicates from the proof of
+unsatisfiability of a trace formula ("Abstractions from proofs", POPL'04).
+Our trace formulas are conjunctions of linear literals, so the Farkas lemma
+gives interpolants directly: if ``sum_i(lambda_i * e_i)`` is a positive
+constant (with nonnegative multipliers on inequalities), then for any prefix
+A of the constraints, ``t_A = sum_{i in A}(lambda_i * e_i) <= 0`` is an
+interpolant -- A entails it, it contradicts the suffix, and it mentions only
+shared variables.
+
+Disequality literals (``x != y``) make the formula a shallow disjunction;
+we enumerate the branches and combine the per-branch interpolants
+(disjunction over prefix branch choices, conjunction over suffix choices).
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Sequence
+
+from . import lia
+from .linear import LinEq, LinExpr, LinLe, normalize_atom
+from .terms import FALSE, Not, TRUE, Term, and_, eq, le, num, or_
+
+__all__ = ["sequence_interpolants", "binary_interpolant"]
+
+
+class _Unsupported(Exception):
+    """A clause outside the conjunctive-literal fragment."""
+
+
+def _group_constraints(literals: Sequence[Term]):
+    """Expand one group's literals into (fixed, choices) constraint lists.
+
+    ``fixed`` are constraints present in every branch; each element of
+    ``choices`` is a pair of alternative constraints from a disequality.
+    Raises :class:`_Unsupported` for clauses outside the conjunctive
+    fragment (e.g. disjunctive assume conditions); callers fall back to a
+    different mining strategy.
+    """
+    fixed: list[LinLe | LinEq] = []
+    choices: list[tuple[LinLe, LinLe]] = []
+    from .terms import And, Cmp
+
+    stack = list(literals)
+    while stack:
+        literal = stack.pop()
+        if literal == TRUE:
+            continue
+        if literal == FALSE:
+            # An explicitly false literal: encode as 1 <= 0.
+            fixed.append(LinLe(LinExpr({}, 1)))
+            continue
+        if isinstance(literal, And):
+            stack.extend(literal.args)
+            continue
+        negated = isinstance(literal, Not)
+        atom = literal.arg if negated else literal
+        if not isinstance(atom, Cmp):
+            raise _Unsupported(repr(literal))
+        for part in normalize_atom(atom, negated=negated):
+            if isinstance(part, tuple):
+                choices.append(part)
+            else:
+                fixed.append(part)
+    return fixed, choices
+
+
+def sequence_interpolants(groups: Sequence[Sequence[Term]]) -> list[Term] | None:
+    """Interpolants at every cut point of an unsatisfiable constraint sequence.
+
+    ``groups`` is a list of literal conjunctions (e.g. one group per trace
+    operation).  Returns ``len(groups) - 1`` formulas ``I_1 .. I_{n-1}``
+    where ``I_k`` is implied by groups ``0..k-1`` and inconsistent with
+    groups ``k..n-1``, or ``None`` when the conjunction is satisfiable or a
+    Farkas certificate was unavailable (integer-only contradictions).
+    """
+    try:
+        expanded = [_group_constraints(g) for g in groups]
+    except _Unsupported:
+        return None
+    all_choice_lists = [choices for _, choices in expanded]
+    n_branches = 1
+    for choices in all_choice_lists:
+        n_branches *= 2 ** len(choices)
+    if n_branches > 4096:
+        return None  # too many disequality branches; caller falls back
+
+    # Enumerate branches; collect per-branch interpolant vectors.
+    branch_itps: list[tuple[tuple[int, ...], list[Term]]] = []
+    selectors = [
+        list(itertools.product((0, 1), repeat=len(choices)))
+        for choices in all_choice_lists
+    ]
+    for combo in itertools.product(*selectors):
+        constraints: list[LinLe | LinEq] = []
+        group_of: list[int] = []
+        for gi, ((fixed, choices), picks) in enumerate(zip(expanded, combo)):
+            for c in fixed:
+                constraints.append(c)
+                group_of.append(gi)
+            for (alt0, alt1), pick in zip(choices, picks):
+                constraints.append(alt1 if pick else alt0)
+                group_of.append(gi)
+        result = lia.solve_conjunction(constraints)
+        if result.is_sat:
+            return None
+        if result.farkas is None:
+            return None
+        itps = _farkas_cut_interpolants(
+            constraints, group_of, result, len(groups)
+        )
+        # Branch signature: which alternative each *prefix-relevant*
+        # disequality picked; used to group branches for the or/and combine.
+        flat_picks = tuple(p for picks in combo for p in picks)
+        branch_itps.append((flat_picks, itps))
+
+    if not branch_itps:
+        return None
+    n_cuts = len(groups) - 1
+    if len(branch_itps) == 1:
+        return branch_itps[0][1]
+
+    # Combine: for each cut, OR over distinct prefix-side choices of the AND
+    # over suffix-side choices.  We conservatively group by the full pick
+    # signature restricted to prefix groups.
+    group_starts: list[int] = []
+    pos = 0
+    for choices in all_choice_lists:
+        group_starts.append(pos)
+        pos += len(choices)
+    total_choices = pos
+
+    combined: list[Term] = []
+    for cut in range(1, len(groups)):
+        # Choice positions belonging to groups before the cut.
+        prefix_positions = [
+            p
+            for gi in range(cut)
+            for p in range(
+                group_starts[gi],
+                group_starts[gi] + len(all_choice_lists[gi]),
+            )
+        ]
+        by_prefix: dict[tuple[int, ...], list[Term]] = {}
+        for picks, itps in branch_itps:
+            key = tuple(picks[p] for p in prefix_positions)
+            by_prefix.setdefault(key, []).append(itps[cut - 1])
+        disjuncts = [and_(*terms) for terms in by_prefix.values()]
+        combined.append(or_(*disjuncts))
+    return combined
+
+
+def _farkas_cut_interpolants(constraints, group_of, result, n_groups) -> list[Term]:
+    """Per-cut interpolant terms from one branch's Farkas combination."""
+    farkas: dict[int, Fraction] = result.farkas
+    # Orient the combination: for pure-equality contradictions the constant
+    # may be negative; scale by -1 (legal since all multipliers hit
+    # equalities).
+    total = LinExpr()
+    for idx, lam in farkas.items():
+        total = total + constraints[idx].expr.scale(lam)
+    assert total.is_const()
+    sign = 1
+    if result.all_equalities and total.const < 0:
+        sign = -1
+    itps: list[Term] = []
+    for cut in range(1, n_groups):
+        t_a = LinExpr()
+        involved: list[int] = []
+        for idx, lam in farkas.items():
+            if group_of[idx] < cut:
+                t_a = t_a + constraints[idx].expr.scale(lam * sign)
+                involved.append(idx)
+        if not involved:
+            itps.append(TRUE)
+            continue
+        all_eq = all(isinstance(constraints[i], LinEq) for i in involved)
+        # Scale to integer coefficients for term reconstruction.
+        t_a = _integerize(t_a)
+        if all_eq:
+            itps.append(eq(t_a.to_term(), num(0)))
+        else:
+            itps.append(le(t_a.to_term(), num(0)))
+    return itps
+
+
+def _integerize(expr: LinExpr) -> LinExpr:
+    """Scale by a positive rational so all coefficients are integers."""
+    denom = 1
+    for c in list(expr.coeffs.values()) + [expr.const]:
+        denom = denom * c.denominator // _gcd(denom, c.denominator)
+    return expr.scale(denom)
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return abs(a)
+
+
+def binary_interpolant(a_literals: Sequence[Term], b_literals: Sequence[Term]) -> Term | None:
+    """Interpolant for the pair (A, B); None if A and B are consistent."""
+    itps = sequence_interpolants([a_literals, b_literals])
+    return itps[0] if itps else None

@@ -1,0 +1,66 @@
+"""Constant folding and light algebraic simplification of terms."""
+
+from __future__ import annotations
+
+from .terms import (
+    Add,
+    BoolConst,
+    Cmp,
+    IntConst,
+    Mul,
+    Neg,
+    Sub,
+    Term,
+    num,
+    transform,
+)
+
+__all__ = ["fold_constants"]
+
+
+def _fold_node(t: Term) -> Term | None:
+    if isinstance(t, Add):
+        if all(isinstance(a, IntConst) for a in t.args):
+            return num(sum(a.value for a in t.args))
+        return None
+    if isinstance(t, Sub):
+        if isinstance(t.lhs, IntConst) and isinstance(t.rhs, IntConst):
+            return num(t.lhs.value - t.rhs.value)
+        return None
+    if isinstance(t, Neg):
+        if isinstance(t.arg, IntConst):
+            return num(-t.arg.value)
+        return None
+    if isinstance(t, Mul):
+        if isinstance(t.lhs, IntConst) and isinstance(t.rhs, IntConst):
+            return num(t.lhs.value * t.rhs.value)
+        if isinstance(t.lhs, IntConst) and t.lhs.value == 1:
+            return t.rhs
+        if isinstance(t.rhs, IntConst) and t.rhs.value == 1:
+            return t.lhs
+        if (isinstance(t.lhs, IntConst) and t.lhs.value == 0) or (
+            isinstance(t.rhs, IntConst) and t.rhs.value == 0
+        ):
+            return num(0)
+        return None
+    if isinstance(t, Cmp):
+        if isinstance(t.lhs, IntConst) and isinstance(t.rhs, IntConst):
+            a, b = t.lhs.value, t.rhs.value
+            return BoolConst(
+                {
+                    "==": a == b,
+                    "!=": a != b,
+                    "<=": a <= b,
+                    "<": a < b,
+                    ">=": a >= b,
+                    ">": a > b,
+                }[t.op]
+            )
+        return None
+    return None
+
+
+def fold_constants(t: Term) -> Term:
+    """Evaluate closed sub-terms; boolean connectives simplify through the
+    smart constructors during reconstruction."""
+    return transform(t, _fold_node)

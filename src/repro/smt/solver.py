@@ -1,0 +1,270 @@
+"""Lazy DPLL(T) SMT solver for quantifier-free linear integer arithmetic.
+
+Combines the CDCL SAT solver (:mod:`repro.smt.sat`) with the LIA conjunction
+procedure (:mod:`repro.smt.lia`) in the classic lazy loop: the propositional
+skeleton is solved first; the implied set of theory literals is checked for
+consistency; an inconsistent set yields a blocking clause built from the
+theory unsat core, and the loop repeats.
+
+Also exposes the fast conjunction-level entry points the verifier uses on its
+hot paths (:func:`is_sat_conjunction`, :func:`entails`), which bypass the SAT
+engine entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from . import lia
+from .cnf import AtomTable, rewrite_to_le, to_nnf, tseitin
+from .linear import LinEq, LinExpr, LinLe, normalize_atom
+from .sat import SAT, SatSolver
+from .terms import (
+    And,
+    BoolConst,
+    Cmp,
+    FALSE,
+    TRUE,
+    Term,
+    and_,
+    free_vars,
+    not_,
+)
+
+__all__ = [
+    "SmtResult",
+    "Solver",
+    "is_sat",
+    "is_valid",
+    "entails",
+    "equivalent",
+    "get_model",
+    "is_sat_conjunction",
+    "conjunction_constraints",
+]
+
+
+class SmtResult:
+    """Outcome of a satisfiability query."""
+
+    __slots__ = ("status", "model")
+
+    def __init__(self, status: str, model: dict[str, int] | None = None):
+        self.status = status
+        self.model = model
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == "sat"
+
+    def __repr__(self):
+        return f"SmtResult({self.status}, model={self.model})"
+
+
+#: Safety valve on the number of lazy refinement rounds.
+MAX_THEORY_ROUNDS = 10_000
+
+
+class Solver:
+    """A single-query lazy SMT solver instance."""
+
+    def __init__(self, formula: Term):
+        self.formula = formula
+        self._sat = SatSolver()
+        self._table = AtomTable(self._sat.new_var)
+
+    def check(self) -> SmtResult:
+        le_form = rewrite_to_le(self.formula)
+        nnf = to_nnf(le_form)
+        if nnf == TRUE:
+            return SmtResult("sat", {name: 0 for name in free_vars(self.formula)})
+        tseitin(nnf, self._sat, self._table)
+        for _ in range(MAX_THEORY_ROUNDS):
+            if self._sat.solve() != SAT:
+                return SmtResult("unsat")
+            model = self._sat.model()
+            constraints: list[LinLe] = []
+            origins: list[int] = []  # SAT literal for each constraint
+            one = LinExpr({}, 1)
+            for v in self._table.theory_vars():
+                expr = self._table.expr_for(v)
+                assert expr is not None
+                if model.get(v, False):
+                    constraints.append(LinLe(expr))
+                    origins.append(v)
+                else:
+                    # not (expr <= 0)  ==  -expr + 1 <= 0   (integers)
+                    constraints.append(LinLe((-expr) + one))
+                    origins.append(-v)
+            result = lia.solve_conjunction(constraints)
+            if result.is_sat:
+                env = dict(result.model or {})
+                for name in free_vars(self.formula):
+                    env.setdefault(name, 0)
+                return SmtResult("sat", env)
+            core = result.core or frozenset(range(len(constraints)))
+            blocking = [-origins[i] for i in core]
+            if not blocking:
+                return SmtResult("unsat")
+            self._sat.add_clause(blocking)
+        raise RuntimeError("DPLL(T) loop exceeded its round budget")
+
+
+# ---------------------------------------------------------------------------
+# Convenience API
+# ---------------------------------------------------------------------------
+
+
+def is_sat(formula: Term) -> bool:
+    """Is the formula satisfiable over the integers?"""
+    conj = _try_conjunction(formula)
+    if conj is not None:
+        return is_sat_conjunction(conj)
+    return Solver(formula).check().is_sat
+
+
+def get_model(formula: Term) -> dict[str, int] | None:
+    """A satisfying integer assignment, or None when unsat."""
+    result = Solver(formula).check()
+    return result.model if result.is_sat else None
+
+
+def is_valid(formula: Term) -> bool:
+    """Is the formula true under every integer assignment?"""
+    return not is_sat(not_(formula))
+
+
+def entails(antecedent: Term, consequent: Term) -> bool:
+    """Does ``antecedent`` entail ``consequent``?"""
+    return not is_sat(and_(antecedent, not_(consequent)))
+
+
+def equivalent(a: Term, b: Term) -> bool:
+    """Are two formulas equivalent over the integers?"""
+    return entails(a, b) and entails(b, a)
+
+
+# ---------------------------------------------------------------------------
+# Conjunction fast path
+# ---------------------------------------------------------------------------
+
+
+def _try_conjunction(formula: Term) -> list[Term] | None:
+    """Flatten into a list of possibly-negated atoms, or None if disjunctive."""
+    from .terms import Not
+
+    literals: list[Term] = []
+    stack = [formula]
+    while stack:
+        t = stack.pop()
+        if isinstance(t, And):
+            stack.extend(t.args)
+        elif isinstance(t, BoolConst):
+            if not t.value:
+                return [FALSE]
+        elif isinstance(t, Cmp):
+            literals.append(t)
+        elif isinstance(t, Not) and isinstance(t.arg, Cmp):
+            literals.append(t)
+        else:
+            return None
+    return literals
+
+
+def conjunction_constraints(literals: Iterable[Term]) -> list[list[LinLe | LinEq]]:
+    """Convert literals into constraint alternatives.
+
+    Returns a list of disjunctive *branches*; each branch is a conjunction of
+    constraints.  Most literals contribute to every branch; a disequality
+    doubles the branch count.  (Branch count is exponential in the number of
+    disequalities, which stays tiny in practice.)
+    """
+    from .terms import Not
+
+    branches: list[list[LinLe | LinEq]] = [[]]
+    for lit in literals:
+        if lit == TRUE:
+            continue
+        if lit == FALSE:
+            return []
+        negated = False
+        atom = lit
+        if isinstance(lit, Not):
+            negated = True
+            atom = lit.arg
+        parts = normalize_atom(atom, negated=negated)
+        for part in parts:
+            if isinstance(part, tuple):  # disjunction of two LinLe
+                new_branches = []
+                for br in branches:
+                    new_branches.append(br + [part[0]])
+                    new_branches.append(br + [part[1]])
+                branches = new_branches
+            else:
+                for br in branches:
+                    br.append(part)
+    return branches
+
+
+#: Memo for conjunction queries; regions recur heavily during fixpoints.
+_conjunction_cache: dict[frozenset, bool] = {}
+
+
+def clear_conjunction_cache() -> None:
+    _conjunction_cache.clear()
+
+
+def is_sat_conjunction(literals: Sequence[Term]) -> bool:
+    """Satisfiability of a conjunction of (possibly negated) atoms.
+
+    This is the hot path for predicate-abstraction queries: no CNF, no SAT
+    engine, just the LIA procedure with *lazy* disequality splitting -- a
+    disequality is split into its two strict branches only when the current
+    model violates it, avoiding the eager 2^d product.
+    """
+    lits = frozenset(lit for lit in literals if lit != TRUE)
+    if FALSE in lits:
+        return False
+    cached = _conjunction_cache.get(lits)
+    if cached is not None:
+        return cached
+    base: list[LinLe | LinEq] = []
+    diseqs: list[tuple[LinLe, LinLe]] = []
+    from .terms import Not
+
+    for lit in lits:
+        negated = isinstance(lit, Not)
+        atom = lit.arg if negated else lit
+        for part in normalize_atom(atom, negated=negated):
+            if isinstance(part, tuple):
+                diseqs.append(part)
+            else:
+                base.append(part)
+    result = _sat_with_diseqs(base, diseqs)
+    _conjunction_cache[lits] = result
+    return result
+
+
+def _sat_with_diseqs(
+    base: list[LinLe | LinEq], diseqs: list[tuple[LinLe, LinLe]]
+) -> bool:
+    result = lia.solve_conjunction(base)
+    if not result.is_sat:
+        return False
+    model = result.model or {}
+
+    def value_env():
+        class _Env(dict):
+            def __missing__(self, key):
+                return 0
+
+        return _Env(model)
+
+    env = value_env()
+    for i, (lo, hi) in enumerate(diseqs):
+        if not lo.holds(env) and not hi.holds(env):
+            rest = diseqs[:i] + diseqs[i + 1 :]
+            return _sat_with_diseqs(base + [lo], rest) or _sat_with_diseqs(
+                base + [hi], rest
+            )
+    return True

@@ -1,0 +1,113 @@
+"""Unit tests for Collapse (weak bisimulation minimization)."""
+
+import pytest
+
+from repro.acfa.acfa import Acfa, AcfaEdge
+from repro.acfa.collapse import collapse, project_acfa
+from repro.acfa.simulate import simulates
+from repro.smt import terms as T
+
+st0 = T.eq(T.var("state"), 0)
+st1 = T.eq(T.var("state"), 1)
+old0 = T.eq(T.var("old"), 0)
+
+LOCALS = frozenset({"old"})
+
+
+def mk(labels, edges, atomic=(), q0=0):
+    return Acfa(
+        name="g",
+        q0=q0,
+        locations=range(len(labels)),
+        label={i: tuple(l) for i, l in enumerate(labels)},
+        edges=[AcfaEdge(s, frozenset(h), d) for s, h, d in edges],
+        atomic=atomic,
+    )
+
+
+def test_project_drops_local_literals_and_havocs():
+    g = mk([[st0, old0], []], [(0, {"old", "x"}, 1)])
+    p = project_acfa(g, LOCALS)
+    assert p.label[0] == (st0,)
+    assert p.edges[0].havoc == {"x"}
+
+
+def test_quotient_simulates_original():
+    g = mk(
+        [[old0], [old0, st0], [st1], []],
+        [(0, {"old"}, 1), (1, set(), 2), (2, {"x"}, 3), (3, set(), 0)],
+    )
+    a, mu = collapse(g, LOCALS)
+    assert simulates(project_acfa(g, LOCALS), a)
+    assert set(mu) == set(g.locations)
+    assert a.q0 == mu[g.q0]
+
+
+def test_silent_chains_collapse():
+    # Three equi-labeled locations connected by silent edges merge.
+    g = mk([[], [], [], [st1]], [(0, set(), 1), (1, set(), 2), (2, {"x"}, 3)])
+    a, mu = collapse(g, frozenset())
+    assert mu[0] == mu[1] == mu[2]
+    assert mu[3] != mu[0]
+    assert a.size == 2
+
+
+def test_local_only_differences_collapse():
+    # Labels differing only on locals merge after projection.
+    g = mk([[old0], [T.ne(T.var("old"), 0)], [st1]], [(0, {"x"}, 2), (1, {"x"}, 2)])
+    a, mu = collapse(g, LOCALS)
+    assert mu[0] == mu[1]
+
+
+def test_atomic_flag_is_an_observable():
+    g = mk([[], [], []], [(0, set(), 1), (0, set(), 2)], atomic=[1])
+    a, mu = collapse(g, frozenset())
+    assert mu[1] != mu[2]
+    assert a.is_atomic(mu[1])
+    assert not a.is_atomic(mu[2])
+
+
+def test_global_label_is_an_observable():
+    g = mk([[], [st0], [st1]], [(0, set(), 1), (0, set(), 2)])
+    a, mu = collapse(g, frozenset())
+    assert mu[1] != mu[2]
+
+
+def test_havoc_subsumption_merges_figure2_style_block():
+    # Two atomic locations: one can exit silently or with {state}; the other
+    # only with {state}.  Havoc subsumption treats the silent exit as
+    # covered, merging them (the paper's A1 merges all three atomic
+    # locations of G1).
+    g = mk(
+        [[], [], [], []],
+        [
+            (0, set(), 1),
+            (1, set(), 3),  # skip exit
+            (1, {"state"}, 3),  # havoc exit
+            (2, {"state"}, 3),
+        ],
+        atomic=[1, 2],
+    )
+    # Location 2 unreachable from 0 but still part of the graph.
+    a, mu = collapse(g, frozenset())
+    assert mu[1] == mu[2]
+
+
+def test_start_label_weakened_to_true():
+    g = mk([[st0], [st1]], [(0, {"state"}, 1), (1, {"state"}, 0)])
+    a, mu = collapse(g, frozenset())
+    assert a.label[a.q0] == ()
+
+
+def test_silent_self_loops_dropped():
+    g = mk([[], []], [(0, set(), 0), (0, {"x"}, 1)])
+    a, mu = collapse(g, frozenset())
+    for e in a.edges:
+        assert not (e.src == e.dst and not e.havoc)
+
+
+def test_mu_is_total_and_onto():
+    g = mk([[], [st0], [st1]], [(0, set(), 1), (1, {"state"}, 2)])
+    a, mu = collapse(g, frozenset())
+    assert set(mu.keys()) == set(g.locations)
+    assert set(mu.values()) == set(a.locations)

@@ -1,0 +1,115 @@
+"""Property-based tests: Collapse always yields a simulating quotient.
+
+These are the invariants the assume-guarantee argument rests on; hypothesis
+searches for small ACFAs that break them.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.acfa.acfa import Acfa, AcfaEdge
+from repro.acfa.collapse import collapse, project_acfa
+from repro.acfa.simulate import simulates, simulation_relation
+from repro.smt import terms as T
+
+_LABEL_POOL = [
+    (),
+    (T.eq(T.var("g"), 0),),
+    (T.eq(T.var("g"), 1),),
+    (T.ge(T.var("g"), 1),),
+    (T.eq(T.var("l"), 0),),  # a 'local' literal, projected away
+]
+
+_HAVOC_POOL = [
+    frozenset(),
+    frozenset({"g"}),
+    frozenset({"l"}),
+    frozenset({"g", "h"}),
+]
+
+LOCALS = frozenset({"l"})
+
+
+@st.composite
+def acfas(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    labels = {
+        i: draw(st.sampled_from(_LABEL_POOL)) for i in range(n)
+    }
+    n_edges = draw(st.integers(min_value=0, max_value=8))
+    edges = []
+    for _ in range(n_edges):
+        src = draw(st.integers(min_value=0, max_value=n - 1))
+        dst = draw(st.integers(min_value=0, max_value=n - 1))
+        havoc = draw(st.sampled_from(_HAVOC_POOL))
+        edges.append(AcfaEdge(src, havoc, dst))
+    atomic = draw(
+        st.sets(st.integers(min_value=1, max_value=n - 1), max_size=n)
+        if n > 1
+        else st.just(set())
+    )
+    return Acfa(
+        name="h",
+        q0=0,
+        locations=range(n),
+        label=labels,
+        edges=edges,
+        atomic=atomic,
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(acfas())
+def test_quotient_simulates_projection(graph):
+    quotient, mu = collapse(graph, LOCALS)
+    projected = project_acfa(graph, LOCALS)
+    assert simulates(projected, quotient)
+
+
+@settings(max_examples=80, deadline=None)
+@given(acfas())
+def test_mu_maps_into_quotient(graph):
+    quotient, mu = collapse(graph, LOCALS)
+    assert set(mu.keys()) == set(graph.locations)
+    assert set(mu.values()) <= set(quotient.locations)
+    assert quotient.q0 == mu[graph.q0]
+
+
+@settings(max_examples=80, deadline=None)
+@given(acfas())
+def test_quotient_never_grows(graph):
+    quotient, _ = collapse(graph, LOCALS)
+    assert quotient.size <= graph.size
+
+
+@settings(max_examples=80, deadline=None)
+@given(acfas())
+def test_quotient_start_label_true(graph):
+    quotient, _ = collapse(graph, LOCALS)
+    assert quotient.label[quotient.q0] == ()
+
+
+@settings(max_examples=50, deadline=None)
+@given(acfas())
+def test_simulation_is_reflexive(graph):
+    assert simulates(graph, graph)
+
+
+@settings(max_examples=40, deadline=None)
+@given(acfas(), acfas(), acfas())
+def test_simulation_is_transitive(a, b, c):
+    # If a <= b and b <= c then a <= c.
+    if simulates(a, b) and simulates(b, c):
+        assert simulates(a, c)
+
+
+@settings(max_examples=60, deadline=None)
+@given(acfas())
+def test_collapse_monotone_under_iteration(graph):
+    # Not strictly idempotent: the first collapse weakens the start label
+    # to true, which can unlock further merges.  But re-collapsing never
+    # grows the quotient and still simulates it.
+    q1, _ = collapse(graph, LOCALS)
+    q2, _ = collapse(q1, LOCALS)
+    assert q2.size <= q1.size
+    assert simulates(project_acfa(q1, LOCALS), q2)

@@ -1,0 +1,105 @@
+"""Unit tests for CheckSim (simulation between ACFAs)."""
+
+import pytest
+
+from repro.acfa.acfa import Acfa, AcfaEdge, empty_acfa
+from repro.acfa.simulate import label_entails, simulates, simulation_relation
+from repro.smt import terms as T
+
+st0 = T.eq(T.var("state"), 0)
+st_ge0 = T.ge(T.var("state"), 0)
+st1 = T.eq(T.var("state"), 1)
+
+
+def mk(labels, edges, atomic=(), q0=0):
+    return Acfa(
+        name="t",
+        q0=q0,
+        locations=range(len(labels)),
+        label={i: tuple(l) for i, l in enumerate(labels)},
+        edges=[AcfaEdge(s, frozenset(h), d) for s, h, d in edges],
+        atomic=atomic,
+    )
+
+
+def test_label_entails_basic():
+    assert label_entails([st0], [st_ge0])
+    assert not label_entails([st_ge0], [st0])
+    assert label_entails([st0], [])
+    assert label_entails([T.FALSE], [st0])
+
+
+def test_identity_simulation():
+    a = mk([[], [st0]], [(0, {"x"}, 1), (1, set(), 0)])
+    assert simulates(a, a)
+
+
+def test_weaker_labels_simulate():
+    # A visible ({x}) move makes the label comparison unavoidable (a silent
+    # move could be matched by stuttering).
+    concrete = mk([[], [st0]], [(0, {"x"}, 1)])
+    abstract_ = mk([[], [st_ge0]], [(0, {"x"}, 1)])
+    assert simulates(concrete, abstract_)
+    assert not simulates(abstract_, concrete)
+
+
+def test_larger_havoc_simulates():
+    concrete = mk([[], []], [(0, {"x"}, 1)])
+    abstract_ = mk([[], []], [(0, {"x", "y"}, 1)])
+    assert simulates(concrete, abstract_)
+    assert not simulates(abstract_, concrete)
+
+
+def test_missing_edge_breaks_simulation():
+    concrete = mk([[], []], [(0, {"x"}, 1)])
+    abstract_ = mk([[], []], [])
+    assert not simulates(concrete, abstract_)
+
+
+def test_silent_stutter_matching():
+    # A silent (empty-havoc) concrete edge between locations that map to
+    # the same abstract location is matched by staying put.
+    concrete = mk([[], [], []], [(0, set(), 1), (1, {"x"}, 2)])
+    abstract_ = mk([[], []], [(0, {"x"}, 1)])
+    assert simulates(concrete, abstract_)
+
+
+def test_atomicity_must_match():
+    # Visible moves into an atomic location cannot be matched by a
+    # non-atomic one (and vice versa).
+    concrete = mk([[], []], [(0, {"x"}, 1)], atomic=[1])
+    abstract_ = mk([[], []], [(0, {"x"}, 1)])
+    assert not simulates(concrete, abstract_)
+    assert not simulates(abstract_, concrete)
+
+
+def test_silent_move_to_atomic_hidden_by_stutter():
+    # A silent move is invisible: the simulator may ignore it entirely,
+    # even when the target's atomic flag differs.
+    concrete = mk([[], []], [(0, set(), 1)])
+    abstract_ = mk([[], []], [(0, set(), 1)], atomic=[1])
+    assert simulates(concrete, abstract_)
+
+
+def test_empty_acfa_simulates_nothing_with_moves():
+    concrete = mk([[], []], [(0, {"x"}, 1)])
+    assert not simulates(concrete, empty_acfa())
+    # But a moveless ACFA is simulated by anything with a compatible start.
+    assert simulates(empty_acfa(), concrete)
+
+
+def test_cycle_simulation():
+    concrete = mk(
+        [[], [st0], [st1]],
+        [(0, set(), 1), (1, {"state"}, 2), (2, {"state", "x"}, 0)],
+    )
+    # Coarser: one location with a self-loop havocing everything.
+    abstract_ = mk([[]], [(0, {"state", "x"}, 0)])
+    assert simulates(concrete, abstract_)
+
+
+def test_simulation_relation_content():
+    concrete = mk([[st0]], [])
+    abstract_ = mk([[st_ge0]], [])
+    rel = simulation_relation(concrete, abstract_)
+    assert (0, 0) in rel

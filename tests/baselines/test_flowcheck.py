@@ -1,0 +1,98 @@
+"""Unit tests for the nesC-compiler-style flow baseline."""
+
+import pytest
+
+from repro.baselines.flowcheck import flow_analysis
+from repro.nesc.model import Event, NescApp, Task
+from repro.nesc.programs import benchmark
+
+
+def test_atomic_only_accesses_pass():
+    app = NescApp(
+        name="ok",
+        globals=[("g", 0)],
+        events=[Event("e", "atomic { g = g + 1; }")],
+        tasks=[Task("t", "atomic { g = 0; }")],
+    )
+    report = flow_analysis(app)
+    assert not report.warnings
+
+
+def test_unprotected_event_access_warns():
+    app = NescApp(
+        name="bad",
+        globals=[("g", 0)],
+        events=[Event("e", "g = g + 1;")],
+    )
+    report = flow_analysis(app)
+    assert report.warns_on("g")
+    (w,) = report.warnings
+    assert w.unprotected_in_event
+
+
+def test_task_only_variables_pass():
+    # Tasks never preempt each other: task-only variables are safe and the
+    # flow check knows it (they are not interrupt-shared).
+    app = NescApp(
+        name="taskonly",
+        globals=[("g", 0)],
+        tasks=[Task("t", "g = g + 1;")],
+    )
+    report = flow_analysis(app)
+    assert not report.warnings
+    assert "g" not in report.interrupt_shared
+
+
+def test_mixed_task_event_unprotected_task_side():
+    app = NescApp(
+        name="mixed",
+        globals=[("g", 0)],
+        events=[Event("e", "atomic { g = 1; }")],
+        tasks=[Task("t", "g = 0;")],
+    )
+    report = flow_analysis(app)
+    assert report.warns_on("g")
+    (w,) = report.warnings
+    assert w.unprotected_in_task and not w.unprotected_in_event
+
+
+def test_read_only_shared_variable_passes():
+    app = NescApp(
+        name="ro",
+        globals=[("g", 0), ("out", 0)],
+        events=[Event("e", "atomic { out = g; }")],
+        tasks=[Task("t", "atomic { out = g + 1; }")],
+    )
+    report = flow_analysis(app)
+    assert not report.warns_on("g")
+
+
+def test_accesses_through_functions_are_found():
+    app = NescApp(
+        name="fn",
+        globals=[("g", 0)],
+        functions="void bump() { g = g + 1; }",
+        events=[Event("e", "bump();")],
+    )
+    report = flow_analysis(app)
+    assert report.warns_on("g")
+
+
+def test_paper_claim_flow_flags_the_state_variable_idiom():
+    """Exactly the paper's story: the flow analysis (nesC compiler) warns
+    on every state-variable-protected variable that CIRC proves safe."""
+    for key in (
+        "secureTosBase/gTxByteCnt",
+        "secureTosBase/gRxHeadIndex",
+        "surge/rec_ptr",
+        "sense/tosPort",
+    ):
+        b = benchmark(key)
+        var = b.variable.replace("_buggy", "")
+        assert flow_analysis(b.app).warns_on(var), key
+
+
+def test_paper_claim_flow_passes_trivially_safe():
+    for key in ("secureTosBase/gTxProto", "secureTosBase/gRxTailIndex"):
+        b = benchmark(key)
+        assert not flow_analysis(b.app).warns_on(b.variable), key

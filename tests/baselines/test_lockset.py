@@ -1,0 +1,99 @@
+"""Unit tests for the Eraser-style lockset baseline."""
+
+import pytest
+
+from repro.baselines.lockset import ATOMIC_LOCK, lockset_analysis
+from repro.lang import lower_source
+from repro.nesc.programs import TEST_AND_SET_SOURCE
+
+
+def test_lock_protected_variable_passes():
+    cfa = lower_source(
+        "global int m, x; thread t { while (1) { lock(m); x = x + 1; unlock(m); } }"
+    )
+    report = lockset_analysis(cfa)
+    assert not report.warns_on("x")
+    assert "m" in report.candidate["x"]
+
+
+def test_unprotected_variable_warns():
+    cfa = lower_source("global int x; thread t { while (1) { x = x + 1; } }")
+    report = lockset_analysis(cfa)
+    assert report.warns_on("x")
+
+
+def test_atomic_sections_count_as_a_lock():
+    cfa = lower_source(
+        "global int x; thread t { while (1) { atomic { x = x + 1; } } }"
+    )
+    report = lockset_analysis(cfa)
+    assert not report.warns_on("x")
+    assert ATOMIC_LOCK in report.candidate["x"]
+
+
+def test_partially_protected_warns():
+    cfa = lower_source(
+        """
+        global int m, x;
+        thread t {
+          while (1) {
+            lock(m); x = x + 1; unlock(m);
+            x = 0;
+          }
+        }
+        """
+    )
+    report = lockset_analysis(cfa)
+    assert report.warns_on("x")
+
+
+def test_two_locks_intersection():
+    cfa = lower_source(
+        """
+        global int m1, m2, x;
+        thread t {
+          while (1) {
+            lock(m1); lock(m2);
+            x = x + 1;
+            unlock(m2); unlock(m1);
+            lock(m2);
+            x = x + 2;
+            unlock(m2);
+          }
+        }
+        """
+    )
+    report = lockset_analysis(cfa)
+    assert not report.warns_on("x")
+    assert report.candidate["x"] == {"m2"}
+
+
+def test_false_positive_on_figure1():
+    """The paper's motivating claim: lockset tools flag Figure 1."""
+    cfa = lower_source(TEST_AND_SET_SOURCE)
+    report = lockset_analysis(cfa)
+    assert report.warns_on("x")  # false positive; CIRC proves it safe
+
+
+def test_read_only_variable_no_warning():
+    cfa = lower_source(
+        "global int x, y; thread t { local int a; while (1) { a = x; y = a; } }"
+    )
+    report = lockset_analysis(cfa)
+    assert not report.warns_on("x")  # reads only, no write anywhere
+    assert report.warns_on("y")
+
+
+def test_lock_variable_itself_not_flagged():
+    cfa = lower_source(
+        "global int m, x; thread t { lock(m); x = 1; unlock(m); }"
+    )
+    report = lockset_analysis(cfa)
+    assert not report.warns_on("m")
+
+
+def test_restrict_to_variables():
+    cfa = lower_source("global int x, y; thread t { x = 1; y = 2; }")
+    report = lockset_analysis(cfa, variables=["x"])
+    assert report.warns_on("x")
+    assert not report.warns_on("y")

@@ -1,0 +1,98 @@
+"""Unit tests for the stateless (thread-modular) context baseline."""
+
+import pytest
+
+from repro.acfa.acfa import Acfa, AcfaEdge
+from repro.baselines.threadmodular import (
+    StatelessInsufficient,
+    StatelessSafe,
+    StatelessUnsafe,
+    pointwise_collapse,
+    thread_modular,
+)
+from repro.lang import lower_source
+from repro.nesc.programs import TEST_AND_SET_SOURCE
+from repro.smt import terms as T
+
+
+def mk_arg(labels, edges, atomic=()):
+    return Acfa(
+        name="g",
+        q0=0,
+        locations=range(len(labels)),
+        label={i: tuple(l) for i, l in enumerate(labels)},
+        edges=[AcfaEdge(s, frozenset(h), d) for s, h, d in edges],
+        atomic=atomic,
+    )
+
+
+def test_pointwise_collapse_single_hub():
+    g = mk_arg(
+        [[T.eq(T.var("g"), 0)], [], []],
+        [(0, {"g"}, 1), (1, set(), 2), (2, {"x"}, 0)],
+    )
+    a, mu = pointwise_collapse(g, frozenset())
+    assert a.size == 1
+    assert set(mu.values()) == {0}
+    assert a.label[0] == ()
+    # All havocs merge onto the self-loop.
+    (loop,) = a.edges
+    assert loop.havoc == {"g", "x"}
+
+
+def test_pointwise_collapse_atomic_hub():
+    g = mk_arg(
+        [[], [], []],
+        [(0, set(), 1), (1, {"x"}, 2), (2, set(), 0)],
+        atomic=[1],
+    )
+    a, mu = pointwise_collapse(g, frozenset())
+    assert a.size == 2
+    assert a.is_atomic(1)
+    assert mu[1] == 1 and mu[0] == 0 and mu[2] == 0
+    # The atomic hub keeps the write.
+    assert a.may_write(1, "x")
+
+
+def test_pointwise_collapse_drops_locals():
+    g = mk_arg([[], []], [(0, {"l", "x"}, 1)])
+    a, _ = pointwise_collapse(g, frozenset({"l"}))
+    (edge,) = a.edges
+    assert edge.havoc == {"x"}
+
+
+def test_stateless_insufficient_on_figure1():
+    """The paper's Section 1 claim about [19]."""
+    result = thread_modular(lower_source(TEST_AND_SET_SOURCE), "x")
+    assert isinstance(result, StatelessInsufficient)
+
+
+def test_stateless_handles_atomic_sections():
+    src = "global int x; thread t { while (1) { atomic { x = x + 1; } } }"
+    result = thread_modular(lower_source(src), "x")
+    assert isinstance(result, StatelessSafe)
+    assert len(result.predicates) == 0
+
+
+def test_stateless_finds_genuine_races():
+    src = "global int x; thread t { while (1) { x = x + 1; } }"
+    result = thread_modular(lower_source(src), "x")
+    assert isinstance(result, StatelessUnsafe)
+    assert result.n_threads >= 2
+
+
+def test_stateless_read_only_safe():
+    src = "global int x, y; thread t { local int a; while (1) { a = x; y = a; } }"
+    result = thread_modular(lower_source(src), "x")
+    assert isinstance(result, StatelessSafe)
+
+
+def test_circ_succeeds_where_stateless_fails():
+    """The central comparison: same program, stateless fails, CIRC proves."""
+    from repro.circ import circ
+
+    cfa = lower_source(TEST_AND_SET_SOURCE)
+    stateless = thread_modular(cfa, "x")
+    stateful = circ(cfa, race_on="x")
+    assert isinstance(stateless, StatelessInsufficient)
+    assert stateful.safe

@@ -1,0 +1,113 @@
+"""Unit tests for sp, wp, SSA and trace formulas."""
+
+import pytest
+
+from repro.cfa.cfa import AssignOp, AssumeOp
+from repro.cfa.ops import SsaBuilder, TraceStep, sp, trace_formula, wp
+from repro.smt import terms as T
+from repro.smt.solver import entails, is_sat
+
+x, y = T.var("x"), T.var("y")
+
+
+def test_sp_assume_conjoins():
+    post = sp(T.eq(x, 0), AssumeOp(T.ge(y, 1)))
+    assert entails(post, T.eq(x, 0))
+    assert entails(post, T.ge(y, 1))
+
+
+def test_sp_assign_constant():
+    post = sp(T.eq(x, 0), AssignOp("x", T.num(5)))
+    assert entails(post, T.eq(x, 5))
+    assert not entails(post, T.eq(x, 0))
+
+
+def test_sp_assign_self_reference():
+    # sp(x == 3, x := x + 1) implies x == 4.
+    post = sp(T.eq(x, 3), AssignOp("x", T.add(x, 1)))
+    assert entails(post, T.eq(x, 4))
+
+
+def test_sp_assign_preserves_other_vars():
+    post = sp(T.eq(y, 7), AssignOp("x", T.num(1)))
+    assert entails(post, T.eq(y, 7))
+
+
+def test_sp_swap_chain():
+    # x == a is preserved into y after y := x.
+    post = sp(T.eq(x, 2), AssignOp("y", x))
+    assert entails(post, T.eq(y, 2))
+
+
+def test_wp_assign_substitutes():
+    pre = wp(T.eq(x, 5), AssignOp("x", T.add(x, 1)))
+    assert entails(T.eq(x, 4), pre)
+    assert not is_sat(T.and_(pre, T.eq(x, 5)))
+
+
+def test_wp_assume():
+    pre = wp(T.eq(x, 1), AssumeOp(T.ge(x, 0)))
+    assert entails(pre, T.ge(x, 0))
+
+
+def test_sp_preserves_satisfiability():
+    # sp of a satisfiable region under an assignment stays satisfiable,
+    # and sp of false stays false.
+    op = AssignOp("x", T.add(x, 2))
+    assert is_sat(sp(T.eq(x, 3), op))
+    assert not is_sat(sp(T.FALSE, op))
+
+
+# -- SSA ---------------------------------------------------------------------
+
+
+def test_ssa_globals_shared_across_threads():
+    ssa = SsaBuilder({"g"})
+    assert ssa.current(0, "g") == ssa.current(1, "g")
+    ssa.bump(0, "g")
+    assert ssa.current(1, "g") == "g$1"
+
+
+def test_ssa_locals_per_thread():
+    ssa = SsaBuilder({"g"})
+    assert ssa.current(0, "l") != ssa.current(1, "l")
+    ssa.bump(0, "l")
+    assert ssa.current(0, "l").endswith("$1")
+    assert ssa.current(1, "l").endswith("$0")
+
+
+def test_ssa_unrename():
+    ssa = SsaBuilder({"g"})
+    assert SsaBuilder.unrename(ssa.bump(0, "g")) == "g"
+    assert SsaBuilder.unrename(ssa.bump(2, "l")) == "l"
+
+
+def test_ssa_unrename_term():
+    t = T.eq(T.var("g$3"), T.var("t1$l$2"))
+    back = SsaBuilder.unrename_term(t)
+    assert T.free_vars(back) == {"g", "l"}
+
+
+def test_trace_formula_write_read_ordering():
+    steps = [
+        TraceStep(0, AssignOp("g", T.num(1))),
+        TraceStep(1, AssignOp("g", T.num(2))),
+        TraceStep(0, AssumeOp(T.eq(T.var("g"), 2))),
+    ]
+    clauses, _ = trace_formula(steps, {"g"})
+    assert is_sat(T.and_(*clauses))
+    # Whereas asserting g == 1 at the end contradicts thread 1's write.
+    steps_bad = steps[:2] + [TraceStep(0, AssumeOp(T.eq(T.var("g"), 1)))]
+    clauses_bad, _ = trace_formula(steps_bad, {"g"})
+    assert not is_sat(T.and_(*clauses_bad))
+
+
+def test_trace_formula_locals_do_not_interfere():
+    steps = [
+        TraceStep(0, AssignOp("l", T.num(1))),
+        TraceStep(1, AssignOp("l", T.num(2))),
+        TraceStep(0, AssumeOp(T.eq(T.var("l"), 1))),
+        TraceStep(1, AssumeOp(T.eq(T.var("l"), 2))),
+    ]
+    clauses, _ = trace_formula(steps, set())
+    assert is_sat(T.and_(*clauses))

@@ -1,0 +1,150 @@
+"""Unit tests for ReachAndBuild and the ARG builder."""
+
+import pytest
+
+from repro.acfa.acfa import Acfa, AcfaEdge, empty_acfa
+from repro.circ.reach import (
+    AbstractRaceFound,
+    ArgBuilder,
+    ReachBudgetExceeded,
+    reach_and_build,
+)
+from repro.context.state import AbstractProgram, CtxMove, MainMove
+from repro.lang import lower_source
+from repro.predabs.abstractor import Abstractor
+from repro.predabs.region import PredicateSet, Region, TOP
+from repro.smt import terms as T
+
+SEQ = "global int g; thread m { g = 1; g = 2; }"
+
+
+def make(src, acfa=None, preds=(), k=1):
+    cfa = lower_source(src)
+    ab = Abstractor(PredicateSet(preds))
+    return AbstractProgram(cfa, ab, acfa or empty_acfa(), k)
+
+
+def test_sequential_reach_builds_line_arg():
+    p = make(SEQ)
+    r = reach_and_build(p)
+    assert r.arg.size == 3
+    assert r.states_explored == 3
+    # Edges havoc the assigned variable.
+    havocs = sorted(tuple(sorted(e.havoc)) for e in r.arg.edges)
+    assert havocs == [("g",), ("g",)]
+
+
+def test_arg_provenance_maps_to_cfa_edges():
+    p = make(SEQ)
+    r = reach_and_build(p)
+    for (src, dst), edges in r.provenance.items():
+        assert edges
+        for e in edges:
+            assert e.src in p.cfa.locations
+
+
+def test_arg_pc_mapping():
+    p = make(SEQ)
+    r = reach_and_build(p)
+    assert r.arg_pc[r.arg.q0] == p.cfa.q0
+
+
+def test_race_raises_with_trace():
+    src = "global int x; thread m { while (1) { x = x + 1; } }"
+    acfa = Acfa(
+        "w", 0, [0], {0: ()}, [AcfaEdge(0, frozenset({"x"}), 0)]
+    )
+    p = make(src, acfa=acfa)
+    with pytest.raises(AbstractRaceFound) as exc:
+        reach_and_build(p, race_on="x")
+    assert exc.value.trace == []  # the initial state already races
+
+
+def test_race_trace_records_moves():
+    src = "global int x; thread m { x = 1; }"
+    acfa = Acfa(
+        "w",
+        0,
+        [0, 1],
+        {0: (), 1: ()},
+        [AcfaEdge(0, frozenset(), 1), AcfaEdge(1, frozenset({"x"}), 1)],
+    )
+    p = make(src, acfa=acfa)
+    with pytest.raises(AbstractRaceFound) as exc:
+        reach_and_build(p, race_on="x")
+    assert len(exc.value.trace) >= 1
+    assert any(isinstance(m, CtxMove) for m in exc.value.trace)
+
+
+def test_budget_exceeded():
+    src = "global int g; thread m { while (1) { g = g + 1; } }"
+    # Unbounded data is fine (regions abstract it) but a tiny budget trips.
+    acfa = Acfa(
+        "w",
+        0,
+        [0, 1],
+        {0: (), 1: ()},
+        [AcfaEdge(0, frozenset(), 1), AcfaEdge(1, frozenset({"g"}), 0)],
+    )
+    p = make(src, acfa=acfa, preds=(T.eq(T.var("g"), 0),))
+    with pytest.raises(ReachBudgetExceeded):
+        reach_and_build(p, max_states=3)
+
+
+def test_error_location_check():
+    src = "global int g; thread m { g = 1; assert(g == 0); }"
+    p = make(src, preds=(T.eq(T.var("g"), 0),))
+    with pytest.raises(AbstractRaceFound):
+        reach_and_build(p, check_errors=True)
+
+
+def test_assert_holds_no_error():
+    src = "global int g; thread m { g = 1; assert(g == 1); }"
+    p = make(src, preds=(T.eq(T.var("g"), 1),))
+    r = reach_and_build(p, check_errors=True)
+    assert r.states_explored >= 2
+
+
+def test_union_merges_context_connected_states():
+    # A context that havocs g: the post-havoc thread state is unioned with
+    # the source state into one ARG location.
+    src = "global int g; thread m { g = 1; g = 2; }"
+    acfa = Acfa(
+        "w", 0, [0], {0: ()}, [AcfaEdge(0, frozenset({"g"}), 0)]
+    )
+    g1 = T.eq(T.var("g"), 1)
+    p = make(src, acfa=acfa, preds=(g1,))
+    r = reach_and_build(p)
+    # Despite regions g==1 vs unknown-g, each pc maps to a single ARG
+    # location because environment moves union them.
+    assert r.arg.size == 3
+
+
+def test_argbuilder_union_requires_same_pc():
+    cfa = lower_source(SEQ)
+    b = ArgBuilder(cfa, PredicateSet())
+    a = b.find((0, TOP))
+    c = b.find((1, TOP))
+    with pytest.raises(AssertionError):
+        b.union(a, c)
+
+
+def test_argbuilder_find_is_stable():
+    cfa = lower_source(SEQ)
+    b = ArgBuilder(cfa, PredicateSet())
+    ts = (0, TOP)
+    assert b.find(ts) == b.find(ts)
+
+
+def test_enabled_ctx_edges_collected():
+    src = "global int g; thread m { g = 1; }"
+    acfa = Acfa(
+        "w",
+        0,
+        [0, 1],
+        {0: (), 1: ()},
+        [AcfaEdge(0, frozenset({"g"}), 1)],
+    )
+    p = make(src, acfa=acfa)
+    r = reach_and_build(p)
+    assert any(r.enabled_ctx_edges.values())

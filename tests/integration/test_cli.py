@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+FIG1 = """
+global int x, state;
+thread main {
+  local int old;
+  while (1) {
+    atomic { old = state; if (state == 0) { state = 1; } }
+    if (old == 0) { x = x + 1; state = 0; }
+  }
+}
+"""
+
+RACY = "global int x; thread t { while (1) { x = x + 1; } }"
+
+
+@pytest.fixture
+def fig1_file(tmp_path):
+    f = tmp_path / "fig1.c"
+    f.write_text(FIG1)
+    return str(f)
+
+
+@pytest.fixture
+def racy_file(tmp_path):
+    f = tmp_path / "racy.c"
+    f.write_text(RACY)
+    return str(f)
+
+
+def test_check_safe(fig1_file, capsys):
+    assert main(["check", fig1_file, "--var", "x"]) == 0
+    out = capsys.readouterr().out
+    assert "x: SAFE" in out
+
+
+def test_check_race_exit_code(racy_file, capsys):
+    assert main(["check", racy_file, "--var", "x"]) == 1
+    out = capsys.readouterr().out
+    assert "RACE" in out
+
+
+def test_check_all(fig1_file, capsys):
+    assert main(["check", fig1_file, "--all"]) == 0
+    out = capsys.readouterr().out
+    assert "x: SAFE" in out and "state: SAFE" in out
+
+
+def test_check_verbose_shows_predicates(fig1_file, capsys):
+    assert main(["check", fig1_file, "--var", "x", "-v"]) == 0
+    out = capsys.readouterr().out
+    assert "predicate: old == state" in out
+
+
+def test_check_omega_variant(fig1_file, capsys):
+    assert main(["check", fig1_file, "--var", "x", "--omega"]) == 0
+
+
+def test_check_requires_var(fig1_file, capsys):
+    assert main(["check", fig1_file]) == 2
+
+
+def test_explore_finds_race(racy_file, capsys):
+    assert main(["explore", racy_file, "--var", "x", "--threads", "2"]) == 1
+    assert "FOUND race" in capsys.readouterr().out
+
+
+def test_explore_budget(fig1_file, capsys):
+    code = main(
+        ["explore", fig1_file, "--var", "x", "--max-states", "100"]
+    )
+    assert code == 3  # inconclusive: unbounded counter
+
+
+def test_baselines(fig1_file, capsys):
+    assert main(["baselines", fig1_file, "--var", "x"]) == 0
+    out = capsys.readouterr().out
+    assert "lockset" in out and "WARNS" in out
+    assert "StatelessInsufficient" in out
+
+
+def test_cfa_text(fig1_file, capsys):
+    assert main(["cfa", fig1_file]) == 0
+    assert "CFA main" in capsys.readouterr().out
+
+
+def test_cfa_dot(fig1_file, capsys):
+    assert main(["cfa", fig1_file, "--dot"]) == 0
+    assert capsys.readouterr().out.startswith("digraph")
+
+
+def test_missing_file(capsys):
+    assert main(["check", "/nonexistent.c", "--var", "x"]) == 2
+
+
+def test_parse_error(tmp_path, capsys):
+    f = tmp_path / "bad.c"
+    f.write_text("thread { oops")
+    assert main(["cfa", str(f)]) == 2
+
+
+def test_simulate_finds_bug(racy_file, capsys):
+    assert main(["simulate", racy_file, "--var", "x", "--runs", "10"]) == 1
+    assert "hit a bug" in capsys.readouterr().out
+
+
+def test_simulate_clean_program(fig1_file, capsys):
+    code = main(
+        ["simulate", fig1_file, "--var", "x", "--runs", "10", "--threads", "3"]
+    )
+    assert code == 0
+    assert "proves nothing" in capsys.readouterr().out
+
+
+def test_redundant_subcommand(tmp_path, capsys):
+    f = tmp_path / "belt.c"
+    f.write_text(
+        "global int m, x;\n"
+        "thread t { while (1) { lock(m); atomic { x = x + 1; } unlock(m); } }\n"
+    )
+    assert main(["redundant", str(f), "--var", "x"]) == 0
+    out = capsys.readouterr().out
+    assert "REDUNDANT" in out

@@ -1,0 +1,236 @@
+"""Unit tests for AST -> CFA lowering."""
+
+import pytest
+
+from repro.cfa.cfa import AssignOp, AssumeOp
+from repro.lang.lower import LowerError, lower_program, lower_source
+from repro.smt import terms as T
+
+FIG1 = """
+global int x, state;
+thread main {
+  local int old;
+  while (1) {
+    atomic {
+      old = state;
+      if (state == 0) { state = 1; }
+    }
+    if (old == 0) {
+      x = x + 1;
+      state = 0;
+    }
+  }
+}
+"""
+
+
+def test_figure1_shape():
+    cfa = lower_source(FIG1)
+    assert cfa.q0 == 0
+    assert not cfa.is_atomic(cfa.q0)
+    # The atomic section spans the test-and-set (paper locations 2, 3, 4).
+    assert len(cfa.atomic) == 3
+    # Exactly the paper's seven locations.
+    assert len(cfa.locations) == 7
+    # x is written at exactly one location.
+    writers = [q for q in cfa.locations if cfa.may_write(q, "x")]
+    assert len(writers) == 1
+
+
+def test_while_false_loop_pruned():
+    cfa = lower_source("global int g; thread m { while (0) { g = 1; } }")
+    # Body is unreachable: no location writes g.
+    assert not any(cfa.may_write(q, "g") for q in cfa.locations)
+
+
+def test_assign_and_locals():
+    cfa = lower_source(
+        "global int g; thread m { local int a = 2; g = a + 1; }"
+    )
+    assert "a" in cfa.locals and "g" in cfa.globals
+    assigns = [e.op for e in cfa.edges if isinstance(e.op, AssignOp)]
+    assert {op.lhs for op in assigns} == {"a", "g"}
+
+
+def test_undeclared_variable_rejected():
+    with pytest.raises(LowerError):
+        lower_source("thread m { x = 1; }")
+
+
+def test_duplicate_local_rejected():
+    with pytest.raises(LowerError):
+        lower_source("thread m { local int a; local int a; }")
+
+
+def test_nested_nondet_rejected():
+    with pytest.raises(LowerError):
+        lower_source("global int x; thread m { if (* && x == 0) { skip; } }")
+
+
+def test_if_without_else():
+    cfa = lower_source(
+        "global int g; thread m { if (g == 0) { g = 1; } g = 2; }"
+    )
+    # Branch structure: one assume g==0 edge, one negated edge.
+    assumes = [e.op.pred for e in cfa.edges if isinstance(e.op, AssumeOp)]
+    assert T.eq(T.var("g"), T.num(0)) in assumes
+
+
+def test_nondet_if_gets_true_assumes():
+    cfa = lower_source("global int g; thread m { if (*) { g = 1; } }")
+    out0 = cfa.out(cfa.q0)
+    preds = {e.op.pred for e in out0 if isinstance(e.op, AssumeOp)}
+    assert preds == {T.TRUE}
+    assert len(out0) == 2
+
+
+def test_atomic_marks_interior_not_exit():
+    cfa = lower_source(
+        "global int g; thread m { atomic { g = 1; g = 2; } g = 3; }"
+    )
+    # Walk: q0 --true--> A(atomic) --g:=1--> B(atomic) --g:=2--> C(non-atomic)
+    (entry_edge,) = cfa.out(cfa.q0)
+    a = entry_edge.dst
+    assert cfa.is_atomic(a)
+    (e1,) = cfa.out(a)
+    assert cfa.is_atomic(e1.dst)
+    (e2,) = cfa.out(e1.dst)
+    assert not cfa.is_atomic(e2.dst)
+
+
+def test_start_location_never_atomic():
+    cfa = lower_source("global int g; thread m { atomic { g = 1; } }")
+    assert not cfa.is_atomic(cfa.q0)
+
+
+def test_lock_unlock_desugaring():
+    cfa = lower_source(
+        "global int m, g; thread t { lock(m); g = 1; unlock(m); }"
+    )
+    acq = [e for e in cfa.edges if e.lock_info == ("acquire", "m")]
+    rel = [e for e in cfa.edges if e.lock_info == ("release", "m")]
+    assert len(acq) == 2  # assume + set
+    assert len(rel) == 1
+    assume_edge = next(e for e in acq if isinstance(e.op, AssumeOp))
+    assert assume_edge.op.pred == T.eq(T.var("m"), T.num(0))
+    # The middle of the test-and-set is atomic.
+    assert cfa.is_atomic(assume_edge.dst)
+
+
+def test_function_inlining_void():
+    cfa = lower_source(
+        """
+        global int g;
+        void bump() { g = g + 1; }
+        thread m { bump(); bump(); }
+        """
+    )
+    bumps = [
+        e
+        for e in cfa.edges
+        if isinstance(e.op, AssignOp) and e.op.lhs == "g"
+    ]
+    assert len(bumps) == 2
+
+
+def test_function_inlining_with_return_value():
+    cfa = lower_source(
+        """
+        global int g;
+        int read_g() { return g; }
+        thread m { local int t; t = read_g(); g = t + 1; }
+        """
+    )
+    t_assigns = [
+        e
+        for e in cfa.edges
+        if isinstance(e.op, AssignOp) and e.op.lhs == "t"
+    ]
+    assert len(t_assigns) == 1
+    assert t_assigns[0].op.rhs == T.var("g")
+
+
+def test_function_params_are_renamed_per_site():
+    cfa = lower_source(
+        """
+        global int g;
+        void set(int v) { g = v; }
+        thread m { set(1); set(2); }
+        """
+    )
+    params = sorted(v for v in cfa.locals if v.startswith("v@"))
+    assert len(params) == 2 and params[0] != params[1]
+
+
+def test_recursion_rejected():
+    with pytest.raises(LowerError):
+        lower_source(
+            """
+            global int g;
+            void f() { f(); }
+            thread m { f(); }
+            """
+        )
+
+
+def test_conditional_return_function():
+    cfa = lower_source(
+        """
+        global int s;
+        int try_get() {
+          if (s == 0) { s = 1; return 1; }
+          return 0;
+        }
+        thread m { local int ok; ok = try_get(); }
+        """
+    )
+    ok_assigns = [
+        e for e in cfa.edges if isinstance(e.op, AssignOp) and e.op.lhs == "ok"
+    ]
+    # Two return paths assign ok.
+    assert len(ok_assigns) == 2
+
+
+def test_assert_creates_error_location():
+    cfa = lower_source("global int g; thread m { assert(g == 0); }")
+    assert len(cfa.error_locations) == 1
+    (err,) = cfa.error_locations
+    assert cfa.out(err) == ()
+
+
+def test_break_exits_loop():
+    cfa = lower_source(
+        "global int g; thread m { while (1) { g = 1; break; } g = 2; }"
+    )
+    # g=2 must be reachable (break escapes the infinite loop).
+    targets = [
+        e for e in cfa.edges if isinstance(e.op, AssignOp) and e.op.rhs == T.num(2)
+    ]
+    assert len(targets) == 1
+
+
+def test_lower_program_multiple_threads():
+    cfas = lower_program(
+        "global int g; thread a { g = 1; } thread b { g = 2; }"
+    )
+    assert set(cfas) == {"a", "b"}
+
+
+def test_contraction_removes_join_stutters():
+    cfa = lower_source(
+        "global int g; thread m { if (g == 0) { g = 1; } else { g = 2; } g = 3; }"
+    )
+    # No location should have a single always-true out-edge to an
+    # equi-atomic location (those are contracted).
+    for q in cfa.locations:
+        outs = cfa.out(q)
+        if len(outs) == 1 and isinstance(outs[0].op, AssumeOp):
+            e = outs[0]
+            if e.op.pred == T.TRUE and e.lock_info is None:
+                # Only atomic-entry stutters survive contraction.
+                assert not cfa.is_atomic(q) and cfa.is_atomic(e.dst)
+
+
+def test_thread_return_is_terminal():
+    cfa = lower_source("global int g; thread m { return; g = 1; }")
+    assert not any(cfa.may_write(q, "g") for q in cfa.locations)

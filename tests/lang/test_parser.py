@@ -1,0 +1,158 @@
+"""Unit tests for the parser."""
+
+import pytest
+
+from repro.lang import ast as A
+from repro.lang.parser import ParseError, parse_cond, parse_expr, parse_program
+from repro.smt import terms as T
+
+
+def test_parse_expr_precedence():
+    e = parse_expr("1 + 2 * x")
+    assert T.evaluate(e, {"x": 10}) == 21
+
+
+def test_parse_expr_unary_minus():
+    e = parse_expr("-x + 3")
+    assert T.evaluate(e, {"x": 1}) == 2
+
+
+def test_parse_expr_parens():
+    e = parse_expr("2 * (x + 1)")
+    assert T.evaluate(e, {"x": 4}) == 10
+
+
+def test_division_rejected():
+    with pytest.raises(ParseError):
+        parse_expr("x / 2")
+    with pytest.raises(ParseError):
+        parse_expr("x % 2")
+
+
+def test_parse_cond_comparisons():
+    c = parse_cond("x <= y + 1")
+    assert isinstance(c, T.Cmp) and c.op == "<="
+
+
+def test_parse_cond_boolean_structure():
+    c = parse_cond("x == 0 && (y > 1 || !(z < 2))")
+    assert isinstance(c, T.And)
+
+
+def test_parse_cond_truthiness_desugar():
+    c = parse_cond("x")
+    assert c == T.ne(T.var("x"), T.num(0))
+    c2 = parse_cond("x + 1")
+    assert isinstance(c2, T.Cmp) and c2.op == "!="
+
+
+def test_parse_cond_nondet():
+    assert isinstance(parse_cond("*"), A.Nondet)
+    assert isinstance(parse_cond("!*"), A.Nondet)
+
+
+def test_global_declarations():
+    p = parse_program("global int x, y = 5, z = -2;")
+    assert [g.name for g in p.globals] == ["x", "y", "z"]
+    assert [g.init for g in p.globals] == [0, 5, -2]
+
+
+def test_thread_and_statements():
+    p = parse_program(
+        """
+        global int g;
+        thread main {
+          local int a = 1;
+          a = a + g;
+          if (a == 0) { skip; } else { g = 2; }
+          while (a > 0) { a = a - 1; break; }
+          atomic { g = 0; }
+          assume(g >= 0);
+          assert(g == 0);
+          lock(g); unlock(g);
+          return;
+        }
+        """
+    )
+    t = p.thread("main")
+    stmts = t.body.stmts
+    assert isinstance(stmts[0], A.LocalDecl)
+    assert isinstance(stmts[1], A.Assign)
+    assert isinstance(stmts[2], A.If) and stmts[2].els is not None
+    assert isinstance(stmts[3], A.While)
+    assert isinstance(stmts[4], A.Atomic)
+    assert isinstance(stmts[5], A.Assume)
+    assert isinstance(stmts[6], A.Assert)
+    assert isinstance(stmts[7], A.Lock)
+    assert isinstance(stmts[8], A.Unlock)
+    assert isinstance(stmts[9], A.Return)
+
+
+def test_functions_and_calls():
+    p = parse_program(
+        """
+        global int g;
+        int get() { return g; }
+        void set(int v) { g = v; }
+        thread main {
+          local int t;
+          t = get();
+          set(t + 1);
+        }
+        """
+    )
+    assert p.function("get").returns_value
+    assert not p.function("set").returns_value
+    assert p.function("set").params == ("v",)
+    stmts = p.thread("main").body.stmts
+    assert isinstance(stmts[1], A.AssignCall)
+    assert isinstance(stmts[2], A.CallStmt)
+
+
+def test_unknown_function_lookup():
+    p = parse_program("thread main { skip; }")
+    with pytest.raises(KeyError):
+        p.function("nope")
+
+
+def test_single_thread_default_lookup():
+    p = parse_program("thread only { skip; }")
+    assert p.thread().name == "only"
+
+
+def test_multi_thread_requires_name():
+    p = parse_program("thread a { skip; } thread b { skip; }")
+    with pytest.raises(ValueError):
+        p.thread()
+    assert p.thread("b").name == "b"
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "thread main { x; }",
+        "thread main { if (x == 0) }",
+        "thread main { x = ; }",
+        "global int;",
+        "thread main { lock(); }",
+        "thread main { broken",
+        "int f( { }",
+    ],
+)
+def test_syntax_errors(bad):
+    with pytest.raises(ParseError):
+        parse_program(bad)
+
+
+def test_nondet_if_condition():
+    p = parse_program("thread main { if (*) { skip; } }")
+    stmt = p.thread().body.stmts[0]
+    assert isinstance(stmt.cond, A.Nondet)
+
+
+def test_else_if_chain():
+    p = parse_program(
+        "thread m { if (*) { skip; } else if (*) { skip; } else { skip; } }"
+    )
+    outer = p.thread().body.stmts[0]
+    assert isinstance(outer.els, A.If)

@@ -1,0 +1,131 @@
+"""Round-trip tests for the unparser: unparse . parse is a projection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.parser import parse_program
+from repro.lang.unparse import unparse
+from repro.nesc.programs import TEST_AND_SET_SOURCE
+
+SAMPLES = [
+    TEST_AND_SET_SOURCE,
+    """
+    global int x = 3, y = -2;
+    global int *p;
+    int get(int a) { if (a > 0) { return a; } return 0; }
+    void put(int v) { x = v; }
+    thread main {
+      local int t;
+      local int *q = &x;
+      p = q;
+      t = get(x + 1);
+      put(t);
+      *p = t;
+      t = *q;
+      while (t > 0) { t = t - 1; break; }
+      atomic { assume(x >= 0); assert(x == x); }
+      lock(y); unlock(y);
+      if (*) { skip; } else { return; }
+    }
+    """,
+    "global int g; thread a { g = 1; } thread b { g = 2; }",
+    """
+    global int s;
+    thread m {
+      while (s == 0 && (s < 5 || !(s != 2))) {
+        s = s + 2 * 3 - 1;
+      }
+    }
+    """,
+]
+
+
+def normal_form(source: str) -> str:
+    return unparse(parse_program(source))
+
+
+@pytest.mark.parametrize("source", SAMPLES, ids=range(len(SAMPLES)))
+def test_unparse_parse_fixpoint(source):
+    once = normal_form(source)
+    twice = normal_form(once)
+    assert once == twice
+
+
+@pytest.mark.parametrize("source", SAMPLES[:2], ids=range(2))
+def test_round_trip_preserves_lowering(source):
+    """The re-parsed program lowers to a structurally identical CFA."""
+    from repro.lang.lower import lower_thread
+
+    p1 = parse_program(source)
+    p2 = parse_program(unparse(p1))
+    for t1, t2 in zip(p1.threads, p2.threads):
+        c1 = lower_thread(p1, t1.name)
+        c2 = lower_thread(p2, t2.name)
+        assert len(c1.locations) == len(c2.locations)
+        assert len(c1.edges) == len(c2.edges)
+        assert c1.atomic == c2.atomic
+        assert c1.globals == c2.globals
+
+
+def test_round_trip_preserves_behavior():
+    """Exhaustive exploration agrees on the original and round-tripped
+    program (bounded-data variant)."""
+    from repro.exec import MultiProgram, explore
+    from repro.lang.lower import lower_source
+
+    src = TEST_AND_SET_SOURCE.replace("x = x + 1;", "x = 1 - x;")
+    round_tripped = normal_form(src)
+    for n in (1, 2):
+        a = explore(
+            MultiProgram.symmetric(lower_source(src), n), race_on="x"
+        )
+        b = explore(
+            MultiProgram.symmetric(lower_source(round_tripped), n),
+            race_on="x",
+        )
+        assert a.found == b.found
+        assert a.visited == b.visited
+
+
+# -- randomized statement-level round trips -----------------------------------
+
+_conds = st.sampled_from(
+    ["x == 0", "x != y", "x < 3 && y > 0", "!(x >= 1) || y == 2", "*"]
+)
+_exprs = st.sampled_from(["0", "x", "x + 1", "y - x", "2 * x", "x + y + 3"])
+
+
+@st.composite
+def stmts(draw, depth=2):
+    if depth == 0:
+        choice = draw(st.sampled_from(["assign", "skip", "assume"]))
+    else:
+        choice = draw(
+            st.sampled_from(
+                ["assign", "skip", "assume", "if", "while", "atomic"]
+            )
+        )
+    if choice == "assign":
+        return f"{draw(st.sampled_from(['x', 'y']))} = {draw(_exprs)};"
+    if choice == "skip":
+        return "skip;"
+    if choice == "assume":
+        cond = draw(_conds)
+        if cond == "*":
+            cond = "x == x"
+        return f"assume({cond});"
+    inner = draw(stmts(depth=depth - 1))
+    if choice == "if":
+        return f"if ({draw(_conds)}) {{ {inner} }}"
+    if choice == "while":
+        return f"while ({draw(_conds)}) {{ {inner} }}"
+    return f"atomic {{ {inner} }}"
+
+
+@settings(max_examples=60, deadline=None)
+@given(stmts())
+def test_random_statement_round_trip(stmt):
+    source = f"global int x, y; thread m {{ {stmt} }}"
+    once = normal_form(source)
+    assert normal_form(once) == once

@@ -1,0 +1,125 @@
+"""Property-based tests for the counter abstraction (Appendix A, Lemma 1).
+
+Lemma 1 orders the abstractions: ``[[T^inf]] <= [[(T, k+1)]] <= [[(T, k)]]``.
+Operationally: any error reachable in the finer abstraction is reachable in
+the coarser one, so a safe verdict at bound k implies safety at k+1 and for
+the concrete unbounded program.  Hypothesis generates small finite-state
+threads and checks the chain, plus agreement between (T, k) for large k and
+explicit-state exploration with few threads.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exec import MultiProgram, explore
+from repro.lang import lower_source
+from repro.parametric import CounterProgram, FiniteThread
+
+# Small structured programs over one bit-valued global.
+_BODIES = [
+    "g = 1 - g;",
+    "atomic { g = 1 - g; }",
+    "if (g == 0) { g = 1; }",
+    "atomic { assume(g == 0); g = 1; } g = 0;",
+    "assume(g == 1); g = 0;",
+    "skip;",
+]
+
+
+@st.composite
+def threads(draw):
+    first = draw(st.sampled_from(_BODIES))
+    second = draw(st.sampled_from(_BODIES))
+    src = (
+        "global int g;\nthread t {\n  while (1) {\n    "
+        + first
+        + "\n    "
+        + second
+        + "\n  }\n}\n"
+    )
+    cfa = lower_source(src)
+    return FiniteThread.from_cfa(cfa, {"g": [0, 1]}), cfa
+
+
+def _error_g1(state):
+    return dict(state.globals_)["g"] == 1
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(threads(), st.integers(min_value=0, max_value=2))
+def test_lemma1_monotone_in_k(tk, k):
+    """If (T, k) is safe then (T, k+1) is safe (contrapositive of
+    [[ (T,k+1) ]] <= [[ (T,k) ]])."""
+    thread, _ = tk
+    coarse = CounterProgram(thread, k).find_counterexample(_error_g1)
+    fine = CounterProgram(thread, k + 1).find_counterexample(_error_g1)
+    if coarse is None:
+        assert fine is None
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(threads())
+def test_counter_overapproximates_concrete(tk):
+    """Any g==1 state reachable with 2 concrete threads is also reachable
+    in (T, k) for k >= 2 ([[T^inf]] <= [[(T,k)]] restricted to 2 threads)."""
+    thread, cfa = tk
+    mp = MultiProgram.symmetric(cfa, 2)
+    # Concrete search for g == 1.
+    seen = {mp.initial()}
+    frontier = [mp.initial()]
+    concrete_hit = mp.initial().global_env()["g"] == 1
+    while frontier and not concrete_hit:
+        s = frontier.pop()
+        for _, _, nxt in mp.successors(s):
+            if nxt in seen:
+                continue
+            seen.add(nxt)
+            if nxt.global_env()["g"] == 1:
+                concrete_hit = True
+                break
+            frontier.append(nxt)
+    abstract_hit = (
+        CounterProgram(thread, 2).find_counterexample(_error_g1) is not None
+    )
+    if concrete_hit:
+        assert abstract_hit
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(threads())
+def test_short_counterexamples_are_concrete(tk):
+    """Lemma 2 direction: a (T, k)-trace of length <= k maps to a concrete
+    trace; we validate by checking the same error is concretely reachable
+    with (length) threads."""
+    thread, cfa = tk
+    k = 4
+    trace = CounterProgram(thread, k).find_counterexample(_error_g1)
+    if trace is None or len(trace) - 1 > k:
+        return
+    n = max(2, len(trace) - 1)
+    mp = MultiProgram.symmetric(cfa, n)
+    seen = {mp.initial()}
+    frontier = [mp.initial()]
+    hit = mp.initial().global_env()["g"] == 1
+    while frontier and not hit:
+        s = frontier.pop()
+        for _, _, nxt in mp.successors(s):
+            if nxt in seen:
+                continue
+            seen.add(nxt)
+            if nxt.global_env()["g"] == 1:
+                hit = True
+            frontier.append(nxt)
+    assert hit

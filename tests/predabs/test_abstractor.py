@@ -1,0 +1,128 @@
+"""Unit tests for the Abs.P operator and abstract post."""
+
+import pytest
+
+from repro.cfa.cfa import AssignOp, AssumeOp
+from repro.predabs.abstractor import Abstractor
+from repro.predabs.region import BOTTOM, TOP, PredicateSet, Region
+from repro.smt import terms as T
+
+x, y, state, old = (T.var(n) for n in ("x", "y", "state", "old"))
+
+P = PredicateSet([T.eq(state, 0), T.eq(state, 1), T.eq(old, 0)])
+ST0 = P.index(T.eq(state, 0))
+ST1 = P.index(T.eq(state, 1))
+OLD0 = P.index(T.eq(old, 0))
+
+
+def test_abstract_unsat_is_bottom():
+    ab = Abstractor(P)
+    assert ab.abstract([T.eq(state, 0), T.eq(state, 1)]).is_bottom()
+
+
+def test_abstract_picks_implied_literals():
+    ab = Abstractor(P)
+    r = ab.abstract([T.eq(state, 0)])
+    assert (ST0, True) in r.literals
+    assert (ST1, False) in r.literals  # state==0 implies state != 1
+    assert not any(idx == OLD0 for idx, _ in r.literals)
+
+
+def test_abstract_true_gives_top():
+    ab = Abstractor(P)
+    assert ab.abstract([]) == TOP
+
+
+def test_initial_region():
+    ab = Abstractor(P)
+    r = ab.initial_region({"state": 0, "old": 0}, ["state", "old", "x"])
+    assert (ST0, True) in r.literals
+    assert (ST1, False) in r.literals
+    assert (OLD0, True) in r.literals
+
+
+def test_initial_region_nonzero_init():
+    ab = Abstractor(P)
+    r = ab.initial_region({"state": 1}, ["state"])
+    assert (ST1, True) in r.literals
+    assert (ST0, False) in r.literals
+
+
+def test_post_assign_tracks_value():
+    ab = Abstractor(P)
+    r0 = ab.abstract([T.eq(state, 0)])
+    r1 = ab.post_op(r0, AssignOp("state", T.num(1)))
+    assert (ST1, True) in r1.literals
+    assert (ST0, False) in r1.literals
+
+
+def test_post_assign_of_variable_copy():
+    ab = Abstractor(P)
+    r0 = ab.abstract([T.eq(state, 0)])
+    # old := state under state==0 gives old==0.
+    r1 = ab.post_op(r0, AssignOp("old", state))
+    assert (OLD0, True) in r1.literals
+    assert (ST0, True) in r1.literals  # state unchanged
+
+
+def test_post_assume_blocks_contradiction():
+    ab = Abstractor(P)
+    r0 = ab.abstract([T.eq(state, 1)])
+    r1 = ab.post_op(r0, AssumeOp(T.eq(state, 0)))
+    assert r1.is_bottom()
+
+
+def test_post_assume_refines():
+    ab = Abstractor(P)
+    r1 = ab.post_op(TOP, AssumeOp(T.eq(state, 0)))
+    assert (ST0, True) in r1.literals
+
+
+def test_post_with_context_invariant():
+    ab = Abstractor(P)
+    # Context invariant state==1 makes the assume state==0 infeasible.
+    r1 = ab.post_op(TOP, AssumeOp(T.eq(state, 0)), ctx_inv=[T.eq(state, 1)])
+    assert r1.is_bottom()
+
+
+def test_post_havoc_forgets_havoced_variable():
+    ab = Abstractor(P)
+    r0 = ab.abstract([T.eq(state, 0), T.eq(old, 0)])
+    r1 = ab.post_havoc(r0, {"state"}, target_label=[])
+    # state facts gone, old facts survive.
+    assert not any(idx in (ST0, ST1) for idx, _ in r1.literals)
+    assert (OLD0, True) in r1.literals
+
+
+def test_post_havoc_applies_target_label():
+    ab = Abstractor(P)
+    r0 = ab.abstract([T.eq(state, 0)])
+    r1 = ab.post_havoc(r0, {"state"}, target_label=[T.eq(state, 1)])
+    assert (ST1, True) in r1.literals
+
+
+def test_post_havoc_contradicting_label_is_bottom():
+    ab = Abstractor(P)
+    r0 = ab.abstract([T.eq(state, 0)])
+    # old is not havoced and the label contradicts a kept fact about state?
+    # No: label replaces state. Contradiction must come from non-havoced
+    # variables.
+    r1 = ab.post_havoc(
+        r0, set(), target_label=[T.eq(state, 1)]
+    )
+    assert r1.is_bottom()
+
+
+def test_bottom_propagates():
+    ab = Abstractor(P)
+    assert ab.post_op(BOTTOM, AssignOp("state", T.num(1))).is_bottom()
+    assert ab.post_havoc(BOTTOM, {"state"}, []).is_bottom()
+
+
+def test_caching_coalesces_queries():
+    ab = Abstractor(P)
+    r0 = ab.abstract([T.eq(state, 0)])
+    before = ab.query_count
+    r1 = ab.abstract([T.eq(state, 0)])
+    assert r0 == r1
+    assert ab.query_count == before  # served from cache

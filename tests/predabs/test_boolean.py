@@ -1,0 +1,82 @@
+"""Tests for the exact boolean abstraction mode."""
+
+import pytest
+
+from repro.cfa.cfa import AssignOp, AssumeOp
+from repro.predabs.abstractor import Abstractor
+from repro.predabs.region import BOTTOM, BooleanRegion, PredicateSet, Region
+from repro.smt import terms as T
+from repro.smt.solver import equivalent
+
+x, y = T.var("x"), T.var("y")
+P = PredicateSet([T.ge(x, 0), T.ge(y, 0)])
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        Abstractor(P, mode="magic")
+
+
+def test_boolean_abstraction_exact_on_disjunction():
+    """x*y >= 0-style constraint: same-sign, inexpressible cartesianly."""
+    ab_bool = Abstractor(P, mode="boolean")
+    ab_cart = Abstractor(P, mode="cartesian")
+    # (x >= 0 and y >= 0) or (x <= -1 and y <= -1)
+    phi = T.or_(
+        T.and_(T.ge(x, 0), T.ge(y, 0)),
+        T.and_(T.le(x, -1), T.le(y, -1)),
+    )
+    r_bool = ab_bool.abstract([phi])
+    r_cart = ab_cart.abstract([phi])
+    # Cartesian loses everything (neither predicate is implied alone).
+    assert r_cart.literals == frozenset()
+    # Boolean captures the correlation exactly.
+    assert isinstance(r_bool, BooleanRegion)
+    assert len(r_bool.cubes) == 2
+    assert equivalent(r_bool.formula(P), phi)
+
+
+def test_boolean_bottom():
+    ab = Abstractor(P, mode="boolean")
+    assert ab.abstract([T.FALSE]).is_bottom()
+
+
+def test_boolean_hull_matches_cartesian():
+    """The boolean region's literal hull equals the cartesian result."""
+    ab_bool = Abstractor(P, mode="boolean")
+    ab_cart = Abstractor(P, mode="cartesian")
+    phi = T.and_(T.ge(x, 3))
+    r_bool = ab_bool.abstract([phi])
+    r_cart = ab_cart.abstract([phi])
+    assert r_bool.literals == r_cart.literals
+
+
+def test_boolean_region_formula_polarity():
+    r = BooleanRegion.from_cubes(
+        [frozenset({(0, True), (1, False)})]
+    )
+    f = r.formula(P)
+    assert T.evaluate(f, {"x": 1, "y": -1}) is True
+    assert T.evaluate(f, {"x": 1, "y": 0}) is False
+
+
+def test_boolean_post_preserves_correlation():
+    """After y := x, the sign correlation survives in boolean mode."""
+    ab = Abstractor(P, mode="boolean")
+    r0 = ab.abstract([T.TRUE])
+    r1 = ab.post_op(r0, AssignOp("y", x))
+    # y >= 0 iff x >= 0: the cubes (T,T) and (F,F) only.
+    assert isinstance(r1, BooleanRegion)
+    polarities = {tuple(sorted(c)) for c in r1.cubes}
+    assert ((0, True), (1, True)) in polarities
+    assert ((0, False), (1, False)) in polarities
+    assert ((0, True), (1, False)) not in polarities
+
+
+def test_boolean_circ_end_to_end():
+    from repro.circ import circ
+    from repro.lang import lower_source
+
+    src = "global int g; thread t { while (1) { atomic { g = 1 - g; } } }"
+    r = circ(lower_source(src), race_on="g", abstraction="boolean")
+    assert r.safe

@@ -1,0 +1,71 @@
+"""Unit tests for the high-level race-checking API."""
+
+import pytest
+
+from repro.lang import lower_source
+from repro.races import (
+    check_race,
+    check_race_bounded,
+    racy_variables,
+    shared_variables,
+)
+
+SRC = """
+global int x, state, ro;
+thread main {
+  local int old;
+  while (1) {
+    atomic { old = state; if (state == 0) { state = 1; } }
+    if (old == 0) { x = x + ro; state = 0; }
+  }
+}
+"""
+
+
+def test_shared_and_racy_variables():
+    cfa = lower_source(SRC)
+    assert shared_variables(cfa) == {"x", "state", "ro"}
+    assert racy_variables(cfa) == {"x", "state"}  # ro is never written
+
+
+def test_check_race_accepts_source_text():
+    result = check_race(SRC, "x")
+    assert result.safe
+
+
+def test_check_race_accepts_cfa():
+    cfa = lower_source(SRC)
+    assert check_race(cfa, "x").safe
+
+
+def test_check_race_unknown_variable():
+    with pytest.raises(ValueError):
+        check_race(SRC, "nope")
+
+
+def test_check_race_forwards_options():
+    result = check_race(SRC, "x", variant="omega", keep_history=True)
+    assert result.safe
+    assert result.stats.history
+
+
+def test_check_race_bounded():
+    result = check_race_bounded(SRC.replace("x + ro", "1 - x"), "x", n_threads=2)
+    assert result.complete and not result.found
+
+
+def test_check_race_bounded_finds_bug():
+    bad = "global int x; thread t { while (1) { x = 1 - x; } }"
+    result = check_race_bounded(bad, "x", n_threads=2)
+    assert result.found
+
+
+def test_bounded_unknown_variable():
+    with pytest.raises(ValueError):
+        check_race_bounded(SRC, "nope")
+
+
+def test_multi_thread_program_selects_by_name():
+    src = "global int g; thread a { g = 1; } thread b { skip; }"
+    result = check_race(src, "g", thread="b")
+    assert result.safe  # thread b never touches g

@@ -1,0 +1,96 @@
+"""Unit tests for formula normalization (rewrite, NNF, Tseitin)."""
+
+import pytest
+
+from repro.smt import terms as T
+from repro.smt.cnf import AtomTable, rewrite_to_le, to_nnf, tseitin
+from repro.smt.sat import SAT, UNSAT, SatSolver
+
+x, y = T.var("x"), T.var("y")
+
+
+def test_rewrite_eq_becomes_conjunction():
+    out = rewrite_to_le(T.eq(x, 3))
+    assert isinstance(out, T.And)
+    assert len(out.args) == 2
+    for atom in out.args:
+        assert isinstance(atom, T.Cmp) and atom.op == "<="
+
+
+def test_rewrite_ne_becomes_disjunction():
+    out = rewrite_to_le(T.ne(x, 3))
+    assert isinstance(out, T.Or)
+
+
+def test_rewrite_strict_uses_integer_tightening():
+    out = rewrite_to_le(T.lt(x, 3))
+    # x < 3 == x - 2 <= 0: satisfied at 2, violated at 3.
+    assert T.evaluate(out, {"x": 2}) is True
+    assert T.evaluate(out, {"x": 3}) is False
+
+
+def test_rewrite_preserves_semantics():
+    f = T.implies(T.gt(x, 0), T.or_(T.ge(y, x), T.eq(y, 0)))
+    g = rewrite_to_le(f)
+    for vx in range(-2, 3):
+        for vy in range(-2, 3):
+            env = {"x": vx, "y": vy}
+            assert T.evaluate(f, env) == T.evaluate(g, env)
+
+
+def test_nnf_removes_negations():
+    f = rewrite_to_le(T.not_(T.and_(T.le(x, 0), T.not_(T.le(y, 0)))))
+    g = to_nnf(f)
+    assert not any(isinstance(s, T.Not) for s in T.subterms(g))
+
+
+def test_nnf_preserves_semantics():
+    f = rewrite_to_le(
+        T.not_(T.implies(T.le(x, 2), T.and_(T.le(y, 0), T.le(x, 5))))
+    )
+    g = to_nnf(f)
+    for vx in range(-1, 7):
+        for vy in range(-2, 3):
+            env = {"x": vx, "y": vy}
+            assert T.evaluate(f, env) == T.evaluate(g, env)
+
+
+def test_nnf_requires_rewritten_atoms():
+    with pytest.raises(ValueError):
+        to_nnf(T.eq(x, 0))
+
+
+def test_tseitin_true_formula():
+    s = SatSolver()
+    table = AtomTable(s.new_var)
+    assert tseitin(T.TRUE, s, table) is None
+    assert s.solve() == SAT
+
+
+def test_tseitin_false_formula():
+    s = SatSolver()
+    table = AtomTable(s.new_var)
+    tseitin(T.FALSE, s, table)
+    assert s.solve() == UNSAT
+
+
+def test_tseitin_shares_atom_variables():
+    s = SatSolver()
+    table = AtomTable(s.new_var)
+    atom = rewrite_to_le(T.le(x, 0))
+    f = to_nnf(T.and_(atom, T.or_(atom, atom)))
+    tseitin(f, s, table)
+    # One theory variable despite three syntactic occurrences.
+    assert len(table.theory_vars()) == 1
+
+
+def test_atom_table_round_trip():
+    s = SatSolver()
+    table = AtomTable(s.new_var)
+    from repro.smt.linear import linearize
+
+    expr = linearize(T.sub(x, T.num(3)))
+    v = table.var_for(expr)
+    assert table.var_for(expr) == v
+    assert table.expr_for(v) == expr
+    assert table.expr_for(999) is None

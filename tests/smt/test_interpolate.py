@@ -1,0 +1,110 @@
+"""Unit and property tests for Farkas interpolation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import terms as T
+from repro.smt.interpolate import binary_interpolant, sequence_interpolants
+from repro.smt.solver import entails, is_sat
+
+x, y, z = T.var("x"), T.var("y"), T.var("z")
+
+
+def check_interpolant(a_lits, b_lits, itp):
+    """The three Craig conditions."""
+    assert entails(T.and_(*a_lits), itp), "A must imply the interpolant"
+    assert not is_sat(T.and_(itp, *b_lits)), "itp & B must be unsat"
+    shared = T.free_vars(T.and_(*a_lits)) & T.free_vars(T.and_(*b_lits))
+    assert T.free_vars(itp) <= shared, "itp must use only shared symbols"
+
+
+def test_simple_bound_interpolant():
+    a = [T.le(x, 2)]
+    b = [T.ge(x, 5)]
+    itp = binary_interpolant(a, b)
+    assert itp is not None
+    check_interpolant(a, b, itp)
+
+
+def test_equality_chain_interpolant():
+    a = [T.eq(x, y), T.eq(y, 3)]
+    b = [T.eq(x, z), T.eq(z, 4)]
+    itp = binary_interpolant(a, b)
+    assert itp is not None
+    check_interpolant(a, b, itp)
+
+
+def test_consistent_pair_returns_none():
+    assert binary_interpolant([T.le(x, 2)], [T.le(x, 5)]) is None
+
+
+def test_sequence_interpolants_count_and_conditions():
+    groups = [
+        [T.eq(x, 0)],
+        [T.eq(y, T.add(x, 1))],
+        [T.eq(z, T.add(y, 1))],
+        [T.ge(z, 5)],
+    ]
+    itps = sequence_interpolants(groups)
+    assert itps is not None
+    assert len(itps) == 3
+    for cut in range(1, 4):
+        prefix = [lit for g in groups[:cut] for lit in g]
+        suffix = [lit for g in groups[cut:] for lit in g]
+        check_interpolant(prefix, suffix, itps[cut - 1])
+
+
+def test_interpolants_with_disequality():
+    a = [T.eq(x, 0)]
+    b = [T.ne(x, 0)]
+    itp = binary_interpolant(a, b)
+    assert itp is not None
+    check_interpolant(a, b, itp)
+
+
+def test_figure5_style_trace():
+    """The paper's Figure 5 TF: old1 = state1; state1 = 0; state2 = 1;
+    old1 = 0; old2 = state2; state2 = 0 -- unsat because state2 is 1."""
+    groups = [
+        [T.eq(T.var("old1"), T.var("state1"))],
+        [T.eq(T.var("state1"), 0)],
+        [T.eq(T.var("state2"), 1)],
+        [T.eq(T.var("old1"), 0)],
+        [T.eq(T.var("old2"), T.var("state2"))],
+        [T.eq(T.var("state2"), 0)],
+    ]
+    itps = sequence_interpolants(groups)
+    assert itps is not None
+    # The interpolant before the last group must force state2 == 1 (or an
+    # equivalent), which the paper mines as the predicate state = 1.
+    final_itp = itps[-1]
+    assert entails(final_itp, T.ne(T.var("state2"), 0))
+
+
+_consts = st.integers(min_value=-3, max_value=3)
+_names = st.sampled_from(["x", "y"])
+
+
+@st.composite
+def literal(draw):
+    name = draw(_names)
+    c = draw(_consts)
+    kind = draw(st.sampled_from(["le", "ge", "eq"]))
+    v = T.var(name)
+    return {"le": T.le, "ge": T.ge, "eq": T.eq}[kind](v, c)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(literal(), min_size=1, max_size=3),
+    st.lists(literal(), min_size=1, max_size=3),
+)
+def test_interpolant_conditions_hold_whenever_produced(a_lits, b_lits):
+    itp = binary_interpolant(a_lits, b_lits)
+    joint_sat = is_sat(T.and_(*(a_lits + b_lits)))
+    if itp is None:
+        assert joint_sat  # None only for consistent pairs
+    else:
+        assert not joint_sat
+        check_interpolant(a_lits, b_lits, itp)

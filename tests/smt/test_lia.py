@@ -1,0 +1,167 @@
+"""Unit tests for the LIA conjunction decision procedure."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.smt.lia import implies_conjunction, solve_conjunction
+from repro.smt.linear import LinEq, LinExpr, LinLe
+
+
+def le(coeffs, const=0):
+    return LinLe(LinExpr({k: Fraction(v) for k, v in coeffs.items()}, const))
+
+
+def eq(coeffs, const=0):
+    return LinEq(LinExpr({k: Fraction(v) for k, v in coeffs.items()}, const))
+
+
+def check_model(constraints, result):
+    assert result.is_sat
+    for c in constraints:
+        assert c.holds(result.model), f"{c!r} violated by {result.model}"
+
+
+def test_empty_is_sat():
+    assert solve_conjunction([]).is_sat
+
+
+def test_single_bound():
+    cs = [le({"x": 1}, -5)]  # x <= 5
+    check_model(cs, solve_conjunction(cs))
+
+
+def test_simple_unsat_interval():
+    # x <= 2 and x >= 5
+    cs = [le({"x": 1}, -2), le({"x": -1}, 5)]
+    r = solve_conjunction(cs)
+    assert not r.is_sat
+    assert r.core == {0, 1}
+
+
+def test_equality_chain_sat():
+    # x == y, y == z, z == 7
+    cs = [
+        eq({"x": 1, "y": -1}),
+        eq({"y": 1, "z": -1}),
+        eq({"z": 1}, -7),
+    ]
+    r = solve_conjunction(cs)
+    check_model(cs, r)
+    assert r.model["x"] == 7
+
+
+def test_equality_chain_unsat():
+    # x == 0, x == 1
+    cs = [eq({"x": 1}), eq({"x": 1}, -1)]
+    r = solve_conjunction(cs)
+    assert not r.is_sat
+    assert r.all_equalities
+    assert r.core == {0, 1}
+
+
+def test_transitive_inequalities():
+    # x <= y, y <= z, z <= x - 1 : unsat
+    cs = [
+        le({"x": 1, "y": -1}),
+        le({"y": 1, "z": -1}),
+        le({"z": 1, "x": -1}, 1),
+    ]
+    r = solve_conjunction(cs)
+    assert not r.is_sat
+    assert r.core == {0, 1, 2}
+
+
+def test_farkas_certificate_sums_to_positive_constant():
+    cs = [
+        le({"x": 1, "y": -1}),       # x - y <= 0
+        le({"y": 1}, -3),            # y <= 3
+        le({"x": -1}, 5),            # x >= 5
+    ]
+    r = solve_conjunction(cs)
+    assert not r.is_sat
+    total = LinExpr()
+    for idx, lam in r.farkas.items():
+        assert lam >= 0  # all inequalities here
+        total = total + cs[idx].expr.scale(lam)
+    assert total.is_const() and total.const > 0
+
+
+def test_mixed_eq_and_ineq():
+    # x == y + 1, x <= 0, y >= 0 : unsat
+    cs = [
+        eq({"x": 1, "y": -1}, -1),
+        le({"x": 1}),
+        le({"y": -1}),
+    ]
+    assert not solve_conjunction(cs).is_sat
+
+
+def test_unbounded_gets_model():
+    cs = [le({"x": -1, "y": 1})]  # y <= x
+    check_model(cs, solve_conjunction(cs))
+
+
+def test_integer_gap_detected():
+    # 2x == 1 has a rational solution but no integer one.
+    cs = [eq({"x": 2}, -1)]
+    r = solve_conjunction(cs)
+    assert not r.is_sat
+
+
+def test_integer_gap_inequalities():
+    # 1 <= 2x <= 1  (i.e. 2x >= 1 and 2x <= 1): rational sat at x=1/2 only.
+    cs = [le({"x": -2}, 1), le({"x": 2}, -1)]
+    r = solve_conjunction(cs)
+    assert not r.is_sat
+
+
+def test_branch_and_bound_finds_integer_point():
+    # 2 <= 2x <= 5  ->  x in {1, 2} after integer tightening
+    cs = [le({"x": -2}, 2), le({"x": 2}, -5)]
+    r = solve_conjunction(cs)
+    check_model(cs, r)
+    assert r.model["x"] in (1, 2)
+
+
+def test_many_variables():
+    # x1 <= x2 <= ... <= x6, x1 >= 10, x6 <= 20
+    cs = []
+    for i in range(1, 6):
+        cs.append(le({f"x{i}": 1, f"x{i+1}": -1}))
+    cs.append(le({"x1": -1}, 10))
+    cs.append(le({"x6": 1}, -20))
+    check_model(cs, solve_conjunction(cs))
+
+
+def test_core_is_minimal_ish():
+    # Only constraints 1 and 3 conflict; 0 and 2 are irrelevant.
+    cs = [
+        le({"a": 1}, -100),
+        le({"x": 1}),          # x <= 0
+        le({"b": -1}, -50),
+        le({"x": -1}, 1),      # x >= 1
+    ]
+    r = solve_conjunction(cs)
+    assert not r.is_sat
+    assert r.core == {1, 3}
+
+
+def test_implies_conjunction_le():
+    ante = [le({"x": 1}, -3)]  # x <= 3
+    assert implies_conjunction(ante, le({"x": 1}, -5))  # x <= 5
+    assert not implies_conjunction(ante, le({"x": 1}, -2))  # x <= 2
+
+
+def test_implies_conjunction_eq():
+    ante = [eq({"x": 1}, -4)]
+    assert implies_conjunction(ante, eq({"x": 1}, -4))
+    assert implies_conjunction(ante, le({"x": 1}, -4))
+    assert not implies_conjunction(ante, eq({"x": 1}, -5))
+
+
+def test_degenerate_constant_constraints():
+    assert solve_conjunction([le({}, -1)]).is_sat  # -1 <= 0
+    assert not solve_conjunction([le({}, 1)]).is_sat  # 1 <= 0
+    assert solve_conjunction([eq({}, 0)]).is_sat
+    assert not solve_conjunction([eq({}, 2)]).is_sat

@@ -1,0 +1,83 @@
+"""Property-based tests: the LIA procedure vs brute force on small boxes."""
+
+import itertools
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt.lia import implies_conjunction, solve_conjunction
+from repro.smt.linear import LinEq, LinExpr, LinLe
+
+_NAMES = ["x", "y", "z"]
+_BOX = range(-3, 4)
+
+
+@st.composite
+def constraints(draw):
+    n_vars = draw(st.integers(min_value=1, max_value=3))
+    names = _NAMES[:n_vars]
+    coeffs = {
+        name: Fraction(draw(st.integers(min_value=-2, max_value=2)))
+        for name in names
+    }
+    const = Fraction(draw(st.integers(min_value=-4, max_value=4)))
+    expr = LinExpr(coeffs, const)
+    if draw(st.booleans()):
+        return LinLe(expr)
+    return LinEq(expr)
+
+
+def brute_force_sat(cs) -> bool:
+    names = sorted({n for c in cs for n in c.expr.vars()})
+    if not names:
+        return all(c.holds({}) for c in cs)
+    for values in itertools.product(_BOX, repeat=len(names)):
+        env = dict(zip(names, values))
+        if all(c.holds(env) for c in cs):
+            return True
+    return False
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(constraints(), min_size=1, max_size=4))
+def test_sat_agrees_with_bruteforce_on_box(cs):
+    """Within a small box: brute-force SAT implies solver SAT (the solver
+    searches all of Z, so the converse need not hold -- check that
+    direction only when the solver's model lands in the box)."""
+    result = solve_conjunction(cs)
+    brute = brute_force_sat(cs)
+    if brute:
+        assert result.is_sat
+    if result.is_sat:
+        model = result.model
+        # Solver models always satisfy the constraints.
+        for c in cs:
+            env = {n: model.get(n, 0) for n in c.expr.vars()}
+            assert c.holds(env)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(constraints(), min_size=1, max_size=3), constraints())
+def test_implication_is_sound(antecedent, consequent):
+    """implies_conjunction never claims an implication violated by a point."""
+    if not implies_conjunction(antecedent, consequent):
+        return
+    names = sorted(
+        {n for c in antecedent + [consequent] for n in c.expr.vars()}
+    )
+    for values in itertools.product(_BOX, repeat=len(names)):
+        env = dict(zip(names, values))
+        if all(c.holds(env) for c in antecedent):
+            assert consequent.holds(env)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(constraints(), min_size=1, max_size=4))
+def test_unsat_core_is_unsat(cs):
+    """The reported core is itself unsatisfiable."""
+    result = solve_conjunction(cs)
+    if result.is_sat or result.core is None:
+        return
+    core = [cs[i] for i in sorted(result.core)]
+    assert not solve_conjunction(core).is_sat

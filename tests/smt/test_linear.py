@@ -1,0 +1,114 @@
+"""Unit tests for linear-form extraction and atom normalization."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.smt import terms as T
+from repro.smt.linear import (
+    LinEq,
+    LinExpr,
+    LinLe,
+    NonLinearError,
+    linearize,
+    normalize_atom,
+)
+
+
+def test_linexpr_algebra():
+    a = LinExpr({"x": Fraction(2)}, 1)
+    b = LinExpr({"x": Fraction(-2), "y": Fraction(1)}, 2)
+    s = a + b
+    assert s.coeff("x") == 0
+    assert s.coeff("y") == 1
+    assert s.const == 3
+    assert "x" not in s.coeffs  # zero coefficients dropped
+
+
+def test_linexpr_scale_and_neg():
+    a = LinExpr({"x": Fraction(3)}, -6)
+    assert (-a).coeff("x") == -3
+    assert a.scale(Fraction(1, 3)).const == -2
+
+
+def test_linexpr_substitute():
+    # x + 2y, substitute y := z - 1  ->  x + 2z - 2
+    e = LinExpr({"x": Fraction(1), "y": Fraction(2)})
+    repl = LinExpr({"z": Fraction(1)}, -1)
+    out = e.substitute("y", repl)
+    assert out.coeff("x") == 1 and out.coeff("z") == 2 and out.const == -2
+
+
+def test_linexpr_evaluate():
+    e = LinExpr({"x": Fraction(2), "y": Fraction(-1)}, 5)
+    assert e.evaluate({"x": 1, "y": 3}) == 4
+
+
+def test_linearize_basic():
+    t = T.add(T.mul(T.num(2), T.var("x")), T.sub(T.var("y"), 3))
+    e = linearize(t)
+    assert e.coeff("x") == 2 and e.coeff("y") == 1 and e.const == -3
+
+
+def test_linearize_rejects_products():
+    with pytest.raises(NonLinearError):
+        linearize(T.mul(T.var("x"), T.var("y")))
+
+
+def test_linearize_allows_constant_products():
+    e = linearize(T.mul(T.var("x"), T.num(3)))
+    assert e.coeff("x") == 3
+
+
+def test_normalize_le():
+    (c,) = normalize_atom(T.le(T.var("x"), 5))
+    assert isinstance(c, LinLe)
+    assert c.expr.coeff("x") == 1 and c.expr.const == -5
+
+
+def test_normalize_lt_uses_integer_tightening():
+    (c,) = normalize_atom(T.lt(T.var("x"), 5))
+    # x < 5  ==>  x - 4 <= 0
+    assert isinstance(c, LinLe)
+    assert c.holds({"x": 4})
+    assert not c.holds({"x": 5})
+
+
+def test_normalize_eq():
+    (c,) = normalize_atom(T.eq(T.var("x"), T.var("y")))
+    assert isinstance(c, LinEq)
+    assert c.holds({"x": 2, "y": 2})
+    assert not c.holds({"x": 2, "y": 3})
+
+
+def test_normalize_negated_eq_gives_disjunction():
+    (pair,) = normalize_atom(T.eq(T.var("x"), 0), negated=True)
+    assert isinstance(pair, tuple)
+    lo, hi = pair
+    # x <= -1  or  x >= 1
+    assert lo.holds({"x": -1}) and not lo.holds({"x": 0})
+    assert hi.holds({"x": 1}) and not hi.holds({"x": 0})
+
+
+def test_normalize_ne():
+    (pair,) = normalize_atom(T.ne(T.var("x"), T.var("y")))
+    assert isinstance(pair, tuple)
+
+
+def test_normalize_negated_le():
+    (c,) = normalize_atom(T.le(T.var("x"), 5), negated=True)
+    # not (x <= 5)  ==>  x >= 6  ==>  6 - x <= 0
+    assert c.holds({"x": 6})
+    assert not c.holds({"x": 5})
+
+
+def test_normalized_key_is_direction_canonical():
+    a = LinExpr({"x": Fraction(2), "y": Fraction(4)}, 6).normalized()
+    b = LinExpr({"x": Fraction(1), "y": Fraction(2)}, 3).normalized()
+    assert a == b
+
+
+def test_to_term_round_trip():
+    e = LinExpr({"x": Fraction(2), "y": Fraction(-1)}, 7)
+    t = e.to_term()
+    assert T.evaluate(t, {"x": 1, "y": 4}) == 2 + (-4) + 7

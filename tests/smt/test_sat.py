@@ -1,0 +1,130 @@
+"""Unit tests for the CDCL SAT solver."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.smt.sat import SAT, UNSAT, SatSolver
+
+
+def test_empty_problem_is_sat():
+    assert SatSolver().solve() == SAT
+
+
+def test_unit_clause():
+    s = SatSolver()
+    s.add_clause([1])
+    assert s.solve() == SAT
+    assert s.model()[1] is True
+
+
+def test_contradicting_units():
+    s = SatSolver()
+    s.add_clause([1])
+    s.add_clause([-1])
+    assert s.solve() == UNSAT
+
+
+def test_empty_clause_unsat():
+    s = SatSolver()
+    s.add_clause([1, 2])
+    s.add_clause([])
+    assert s.solve() == UNSAT
+
+
+def test_tautology_is_dropped():
+    s = SatSolver()
+    s.add_clause([1, -1])
+    assert s.solve() == SAT
+
+
+def test_simple_implication_chain():
+    s = SatSolver()
+    s.add_clause([1])
+    s.add_clause([-1, 2])
+    s.add_clause([-2, 3])
+    assert s.solve() == SAT
+    m = s.model()
+    assert m[1] and m[2] and m[3]
+
+
+def test_pigeonhole_3_into_2_unsat():
+    # Variable p(i,j): pigeon i in hole j. 3 pigeons, 2 holes.
+    def v(i, j):
+        return i * 2 + j + 1
+
+    s = SatSolver()
+    for i in range(3):
+        s.add_clause([v(i, 0), v(i, 1)])
+    for j in range(2):
+        for i1, i2 in itertools.combinations(range(3), 2):
+            s.add_clause([-v(i1, j), -v(i2, j)])
+    assert s.solve() == UNSAT
+
+
+def test_model_satisfies_all_clauses_random():
+    rng = random.Random(42)
+    for trial in range(30):
+        n_vars = rng.randint(3, 12)
+        n_clauses = rng.randint(3, 40)
+        clauses = []
+        for _ in range(n_clauses):
+            width = rng.randint(1, 4)
+            clause = [
+                rng.choice([1, -1]) * rng.randint(1, n_vars)
+                for _ in range(width)
+            ]
+            clauses.append(clause)
+        s = SatSolver()
+        for c in clauses:
+            s.add_clause(c)
+        verdict = s.solve()
+        # Cross-check against brute force.
+        brute_sat = False
+        for bits in itertools.product([False, True], repeat=n_vars):
+            assign = {v: bits[v - 1] for v in range(1, n_vars + 1)}
+            if all(
+                any(assign[abs(l)] == (l > 0) for l in c) for c in clauses
+            ):
+                brute_sat = True
+                break
+        assert (verdict == SAT) == brute_sat, f"trial {trial}"
+        if verdict == SAT:
+            m = s.model()
+            for c in clauses:
+                assert any(m[abs(l)] == (l > 0) for l in c)
+
+
+def test_incremental_clause_addition():
+    s = SatSolver()
+    s.add_clause([1, 2])
+    assert s.solve() == SAT
+    s.add_clause([-1])
+    assert s.solve() == SAT
+    assert s.model()[2] is True
+    s.add_clause([-2])
+    assert s.solve() == UNSAT
+
+
+def test_rejects_literal_zero():
+    s = SatSolver()
+    with pytest.raises(ValueError):
+        s.add_clause([0])
+
+
+def test_duplicate_literals_collapse():
+    s = SatSolver()
+    s.add_clause([1, 1, 1])
+    assert s.solve() == SAT
+    assert s.model()[1] is True
+
+
+def test_large_chain_forces_propagation():
+    s = SatSolver()
+    n = 200
+    s.add_clause([1])
+    for i in range(1, n):
+        s.add_clause([-i, i + 1])
+    s.add_clause([-n, -1])  # contradiction at the end
+    assert s.solve() == UNSAT

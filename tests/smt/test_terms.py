@@ -1,0 +1,116 @@
+"""Unit tests for the term layer."""
+
+import pytest
+
+from repro.smt import terms as T
+
+
+def test_var_equality_and_hash():
+    assert T.var("x") == T.var("x")
+    assert T.var("x") != T.var("y")
+    assert hash(T.var("x")) == hash(T.var("x"))
+    assert len({T.var("x"), T.var("x"), T.var("y")}) == 2
+
+
+def test_terms_are_immutable():
+    v = T.var("x")
+    with pytest.raises(AttributeError):
+        v.name = "y"
+
+
+def test_smart_and_flattens_and_simplifies():
+    a, b = T.le(T.var("x"), 0), T.le(T.var("y"), 0)
+    assert T.and_() == T.TRUE
+    assert T.and_(a) == a
+    assert T.and_(a, T.TRUE) == a
+    assert T.and_(a, T.FALSE) == T.FALSE
+    nested = T.and_(T.and_(a, b), a)
+    assert isinstance(nested, T.And)
+    assert len(nested.args) == 3
+
+
+def test_smart_or_flattens_and_simplifies():
+    a, b = T.le(T.var("x"), 0), T.le(T.var("y"), 0)
+    assert T.or_() == T.FALSE
+    assert T.or_(a) == a
+    assert T.or_(a, T.FALSE) == a
+    assert T.or_(a, T.TRUE) == T.TRUE
+    nested = T.or_(T.or_(a, b), b)
+    assert len(nested.args) == 3
+
+
+def test_not_involution():
+    a = T.le(T.var("x"), 0)
+    assert T.not_(T.not_(a)) == a
+    assert T.not_(T.TRUE) == T.FALSE
+    assert T.not_(T.FALSE) == T.TRUE
+
+
+def test_int_coercion_in_constructors():
+    t = T.eq(T.var("x"), 5)
+    assert isinstance(t.rhs, T.IntConst)
+    assert t.rhs.value == 5
+
+
+def test_free_vars():
+    f = T.and_(T.eq(T.var("x"), T.var("y")), T.le(T.add(T.var("z"), 1), 0))
+    assert T.free_vars(f) == {"x", "y", "z"}
+    assert T.free_vars(T.num(3)) == frozenset()
+
+
+def test_substitute():
+    f = T.eq(T.var("x"), T.add(T.var("y"), 1))
+    g = T.substitute(f, {"y": T.num(4)})
+    assert T.free_vars(g) == {"x"}
+    assert T.evaluate(g, {"x": 5}) is True
+    assert T.evaluate(g, {"x": 6}) is False
+
+
+def test_substitute_simultaneous():
+    # x -> y and y -> x must swap, not chain.
+    f = T.sub(T.var("x"), T.var("y"))
+    g = T.substitute(f, {"x": T.var("y"), "y": T.var("x")})
+    assert T.evaluate(g, {"x": 3, "y": 10}) == 7
+
+
+def test_rename():
+    f = T.eq(T.var("x"), T.num(0))
+    g = T.rename(f, {"x": "x__1"})
+    assert T.free_vars(g) == {"x__1"}
+
+
+@pytest.mark.parametrize(
+    "term,env,expected",
+    [
+        (T.add(T.var("x"), T.num(2)), {"x": 3}, 5),
+        (T.sub(T.num(2), T.var("x")), {"x": 3}, -1),
+        (T.mul(T.num(4), T.var("x")), {"x": 3}, 12),
+        (T.neg(T.var("x")), {"x": 3}, -3),
+        (T.lt(T.var("x"), 4), {"x": 3}, True),
+        (T.ge(T.var("x"), 4), {"x": 3}, False),
+        (T.ne(T.var("x"), 4), {"x": 3}, True),
+        (T.implies(T.FALSE, T.FALSE), {}, True),
+        (T.iff(T.TRUE, T.FALSE), {}, False),
+    ],
+)
+def test_evaluate(term, env, expected):
+    assert T.evaluate(term, env) == expected
+
+
+def test_atoms_collects_comparisons():
+    a = T.eq(T.var("x"), 0)
+    b = T.le(T.var("y"), 1)
+    f = T.or_(T.and_(a, T.not_(b)), a)
+    assert T.atoms(f) == {a, b}
+
+
+def test_pretty_round_trips_structure():
+    f = T.implies(T.eq(T.var("x"), 0), T.or_(T.le(T.var("y"), 1), T.FALSE))
+    s = T.pretty(f)
+    assert "x == 0" in s and "->" in s
+
+
+def test_is_atom():
+    assert T.is_atom(T.eq(T.var("x"), 0))
+    assert T.is_atom(T.TRUE)
+    assert not T.is_atom(T.and_(T.eq(T.var("x"), 0), T.eq(T.var("y"), 0)))
