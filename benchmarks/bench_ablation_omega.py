@@ -10,8 +10,6 @@ agree (both are sound; speed is workload-dependent in our substrate, so
 the reproduction reports the ratio instead of asserting a direction).
 """
 
-import time
-
 import pytest
 
 from repro.circ import circ

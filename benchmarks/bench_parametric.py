@@ -7,9 +7,7 @@ length at most k).  Also records how the required counter bound grows on
 the broken mutex as the witness needs more threads.
 """
 
-import pytest
-
-from repro.exec import MultiProgram, explore
+from repro.exec import MultiProgram
 from repro.lang import lower_source
 from repro.parametric import (
     FiniteThread,

@@ -26,6 +26,8 @@ Package map:
 * :mod:`repro.circ`  -- ReachAndBuild, Refine, CIRC, the infinity check
 * :mod:`repro.parametric` -- Appendix A counter-guided verification
 * :mod:`repro.baselines`  -- lockset (Eraser-style) and flow-based checkers
+* :mod:`repro.static` -- sound static pre-analysis (MHP + protection
+  inference) pruning variables before CIRC runs
 * :mod:`repro.nesc`  -- the nesC/TinyOS concurrency substrate and the
   synthetic models of the paper's Table 1 applications
 """
@@ -36,6 +38,7 @@ from .circ import CircError, CircSafe, CircUnsafe, circ
 from .exec import MultiProgram, explore, replay
 from .lang import lower_program, lower_source, parse_program
 from .races import check_race, check_race_bounded, racy_variables, shared_variables
+from .static import StaticReport, StaticSafe, Verdict, classify
 
 __version__ = "1.0.0"
 
@@ -60,5 +63,9 @@ __all__ = [
     "check_race_bounded",
     "racy_variables",
     "shared_variables",
+    "StaticReport",
+    "StaticSafe",
+    "Verdict",
+    "classify",
     "__version__",
 ]

@@ -14,7 +14,7 @@ procedure Connect of the paper).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Iterable, Mapping
 
 from ..smt import terms as T
 

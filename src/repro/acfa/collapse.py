@@ -24,7 +24,6 @@ which the refinement procedure uses to concretize abstract context traces.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
 
 from ..smt import terms as T
 from .acfa import Acfa, AcfaEdge
@@ -155,7 +154,6 @@ def collapse(
         block = new_block
 
     # --- quotient construction ----------------------------------------------------
-    n_blocks = len(set(block.values()))
     # Renumber blocks so the initial block is 0 and numbering is dense/stable.
     order: dict[int, int] = {}
 

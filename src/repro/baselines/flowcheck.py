@@ -16,7 +16,6 @@ paper feeds to CIRC.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
 
 from ..nesc.model import NescApp
 

@@ -108,11 +108,14 @@ def lockset_analysis(
     """
     held = _locks_held(cfa)
     if variables is None:
-        variables = sorted(
+        variables = (
             v
             for v in cfa.globals
             if any(cfa.may_access(q, v) for q in cfa.locations)
         )
+    # Sort up front so the candidate map, the warning list, and therefore
+    # the CLI output are stable regardless of the caller's iteration order.
+    variables = sorted(variables)
 
     report = LocksetReport(locks_held=held, candidate={})
     for x in variables:
@@ -147,4 +150,5 @@ def lockset_analysis(
                     has_write=has_write,
                 )
             )
+    report.warnings.sort(key=lambda w: w.variable)
     return report

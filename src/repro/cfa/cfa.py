@@ -13,8 +13,8 @@ multithreaded program is built).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional
+from dataclasses import dataclass
+from typing import Iterable, Optional
 
 from ..smt.terms import Term, free_vars, pretty
 

@@ -9,8 +9,8 @@ concretized interleavings.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from ..smt import terms as T
 from .cfa import AssignOp, AssumeOp, Op

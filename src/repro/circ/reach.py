@@ -19,7 +19,7 @@ procedure needs to concretize context operations back into CFA paths.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Optional
 
 from ..acfa.acfa import Acfa, AcfaEdge
 from ..cfa.cfa import CFA, AssignOp, Edge

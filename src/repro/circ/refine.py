@@ -21,7 +21,7 @@ Given an abstract error trace of the thread-context program, Refine:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Literal, Optional, Sequence
 
 from ..acfa.acfa import Acfa, AcfaEdge
@@ -501,7 +501,6 @@ def _race_role_conditions(
     def accessor_ok(g: int) -> bool:
         return cfa.may_access(arg_pc[g], x)
 
-    main_writes = cfa.may_write(final_state.pc, x)
     main_accesses = cfa.may_access(final_state.pc, x)
     writer_locs = [
         q

@@ -6,6 +6,12 @@ Subcommands
 ``check FILE``
     Run CIRC on a mini-C program; prove or refute race freedom for
     unboundedly many threads (per variable, or ``--all`` written globals).
+    The static pre-analysis prunes provably-safe variables first;
+    ``--no-prefilter`` forces CIRC on everything.
+
+``static FILE``
+    Run only the static pre-analysis: per-variable verdicts from the
+    lattice ``{local, read-shared, protected, must-check}``.
 
 ``explore FILE``
     Exhaustive explicit-state exploration for a fixed thread count
@@ -66,9 +72,22 @@ def _cmd_check(args) -> int:
         Path(args.report).write_text(render_markdown(report))
         print(f"wrote {args.report}")
         return 1 if report.races else 0
+    static_report = None
+    if not args.no_prefilter:
+        from .static import classify
+
+        static_report = classify(cfa, variables)
     status = 0
     for var in variables:
         start = time.perf_counter()
+        if static_report is not None:
+            vv = static_report.verdict(var)
+            if vv.prunable:
+                print(
+                    f"{var}: SAFE  [static: {vv.verdict.value} "
+                    f"-- {vv.reason}]"
+                )
+                continue
         try:
             result = circ(
                 cfa,
@@ -187,9 +206,62 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_static(args) -> int:
+    from .static import classify
+
+    cfa = _load(args.file, args.thread)
+    report = classify(
+        cfa, [args.var] if args.var else None
+    )
+    if args.json:
+        import json
+
+        payload = {
+            "thread": report.cfa_name,
+            "monitors": [
+                {"variable": m.variable, "kind": m.kind}
+                for m in report.monitors
+            ],
+            "verdicts": {
+                name: {
+                    "verdict": vv.verdict.value,
+                    "reason": vv.reason,
+                    "read_sites": list(vv.read_sites),
+                    "write_sites": list(vv.write_sites),
+                    "protectors": list(vv.protectors),
+                    "racing_pairs": [list(p) for p in vv.racing_pairs],
+                }
+                for name, vv in sorted(report.verdicts.items())
+            },
+            "summary": report.counts(),
+            "must_check": list(report.must_check),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report)
+    return 0
+
+
 def _cmd_cfa(args) -> int:
     cfa = _load(args.file, args.thread)
-    print(cfa.to_dot() if args.dot else cfa)
+    if args.dot:
+        print(cfa.to_dot())
+        return 0
+    print(cfa)
+    # The per-location access/write sets the static passes operate on --
+    # restricted to globals, since locals cannot race.
+    print()
+    print("global access sets per location:")
+    for q in sorted(cfa.locations):
+        reads = sorted(cfa.reads_at(q) & cfa.globals)
+        writes = sorted(cfa.writes_at(q) & cfa.globals)
+        if not reads and not writes:
+            continue
+        mark = "*" if cfa.is_atomic(q) else " "
+        print(
+            f"  loc {q}{mark} reads={{{', '.join(reads)}}} "
+            f"writes={{{', '.join(writes)}}}"
+        )
     return 0
 
 
@@ -235,7 +307,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-k", type=int, default=1, help="initial counter bound")
     p.add_argument("-v", "--verbose", action="store_true")
     p.add_argument("--report", metavar="FILE", help="write a Markdown audit report")
+    p.add_argument(
+        "--no-prefilter",
+        action="store_true",
+        help="run CIRC on every variable, skipping the static pre-analysis",
+    )
     p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser(
+        "static",
+        help="static pre-analysis only: per-variable race verdicts",
+    )
+    p.add_argument("file")
+    p.add_argument("--var", help="classify a single global")
+    p.add_argument("--thread", help="thread name for multi-thread files")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=_cmd_static)
 
     p = sub.add_parser("explore", help="explicit-state search (fixed threads)")
     p.add_argument("file")

@@ -14,8 +14,8 @@ nondeterministic condition ``*``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional
 
 from ..smt.terms import Term
 

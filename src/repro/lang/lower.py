@@ -16,7 +16,7 @@ Mirrors BLAST's CIL frontend in miniature:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..smt import terms as T
 from ..smt.simplify import fold_constants
@@ -321,7 +321,7 @@ class _Lowerer:
 
     def build(self) -> CFA:
         q0 = self.fresh()
-        exit_ = self.lower_stmt(self.thread.body, q0)
+        self.lower_stmt(self.thread.body, q0)
         locations = set(range(self._next_loc))
         error_locs = {self.error_loc} if self.error_loc is not None else set()
         cfa = CFA(

@@ -21,7 +21,6 @@ checker, which mimics the nesC compiler's race analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
 
 from ..cfa.cfa import CFA
 from ..lang import ast as A

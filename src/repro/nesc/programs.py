@@ -235,7 +235,6 @@ def _tos_port_app(buggy: bool) -> NescApp:
             seen = tosPort;
             """,
         )
-        adc_en_init = 0
         task_body = """
           atomic { old = sState; if (sState == 0) { sState = 1; } }
           if (old == 0) {

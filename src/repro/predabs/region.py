@@ -14,7 +14,7 @@ asserts; fewer literals = weaker region.  ``top`` is the empty set.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator
 
 from ..smt import terms as T
 

@@ -14,8 +14,8 @@ the program remains race-free on x without it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from ..circ.circ import CircError, circ
 from ..lang import ast as A
@@ -128,6 +128,7 @@ def find_redundant_sync(
     source: str,
     variable: str,
     thread: str | None = None,
+    use_prefilter: bool = True,
     **circ_options,
 ) -> list[RedundancyFinding]:
     """Which synchronization constructs are unnecessary for race freedom
@@ -135,18 +136,33 @@ def find_redundant_sync(
 
     The baseline program must itself verify; otherwise a ValueError is
     raised (redundancy is only meaningful relative to a correct program).
+
+    With ``use_prefilter`` (the default), each stripped variant is first
+    classified by the static pre-analysis (:mod:`repro.static`): when the
+    variable stays ``protected`` (or better) without the construct -- the
+    remaining synchronization alone discharges it -- the site is reported
+    redundant without re-running CIRC.  Only removals that leave the
+    variable ``must-check`` pay for a full verification.
     """
+    from ..static.classify import classify
+
     program = parse_program(source)
     tdef = program.thread(thread)
 
-    baseline = circ(
-        lower_thread(program, tdef.name), race_on=variable, **circ_options
-    )
-    if not baseline.safe:
-        raise ValueError(
-            f"the program already races on {variable!r}; "
-            "redundancy analysis needs a race-free baseline"
-        )
+    def static_verdict(cfa):
+        if not use_prefilter or variable not in cfa.globals:
+            return None
+        vv = classify(cfa, [variable]).verdict(variable)
+        return vv if vv.prunable else None
+
+    base_cfa = lower_thread(program, tdef.name)
+    if static_verdict(base_cfa) is None:
+        baseline = circ(base_cfa, race_on=variable, **circ_options)
+        if not baseline.safe:
+            raise ValueError(
+                f"the program already races on {variable!r}; "
+                "redundancy analysis needs a race-free baseline"
+            )
 
     findings: list[RedundancyFinding] = []
 
@@ -174,9 +190,21 @@ def find_redundant_sync(
         variant = A.Program(
             program.globals, stripped_functions, stripped_threads
         )
+        variant_cfa = lower_thread(variant, tdef.name)
+        vv = static_verdict(variant_cfa)
+        if vv is not None:
+            findings.append(
+                RedundancyFinding(
+                    site,
+                    True,
+                    f"statically {vv.verdict.value} without it "
+                    "(no CIRC run needed)",
+                )
+            )
+            return
         try:
             result = circ(
-                lower_thread(variant, tdef.name),
+                variant_cfa,
                 race_on=variable,
                 **circ_options,
             )

@@ -54,6 +54,7 @@ def check_race(
     program: str | CFA,
     variable: str,
     thread: str | None = None,
+    prefilter: bool = False,
     **circ_options,
 ) -> CircResult:
     """Prove or refute race freedom on ``variable`` for unboundedly many
@@ -62,10 +63,22 @@ def check_race(
     ``program`` may be mini-C source text or a lowered CFA.  Keyword options
     are forwarded to :func:`repro.circ.circ` (``variant="omega"`` selects
     the infinity-check optimization, ``k`` the initial counter, ...).
+
+    With ``prefilter=True`` the static pre-analysis
+    (:mod:`repro.static`) runs first: when it classifies ``variable`` as
+    ``local``, ``read-shared``, or ``protected``, a
+    :class:`~repro.static.StaticSafe` proof is returned without invoking
+    CIRC at all.  The verdict is unchanged either way -- the pre-analysis
+    only prunes variables it can prove safe -- but pruned variables skip
+    the whole CEGAR loop.
     """
     cfa = _as_cfa(program, thread)
     if variable not in cfa.globals:
         raise ValueError(f"{variable!r} is not a global of the program")
+    if prefilter:
+        from ..static.prefilter import prefilter_check
+
+        return prefilter_check(cfa, variable, **circ_options)
     return circ(cfa, race_on=variable, **circ_options)
 
 

@@ -119,7 +119,6 @@ def sequence_interpolants(groups: Sequence[Sequence[Term]]) -> list[Term] | None
 
     if not branch_itps:
         return None
-    n_cuts = len(groups) - 1
     if len(branch_itps) == 1:
         return branch_itps[0][1]
 
@@ -131,7 +130,6 @@ def sequence_interpolants(groups: Sequence[Sequence[Term]]) -> list[Term] | None
     for choices in all_choice_lists:
         group_starts.append(pos)
         pos += len(choices)
-    total_choices = pos
 
     combined: list[Term] = []
     for cut in range(1, len(groups)):

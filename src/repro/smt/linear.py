@@ -21,7 +21,7 @@ exact; input programs only ever produce integer coefficients.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Iterable, Mapping
+from typing import Mapping
 
 from .terms import (
     Add,
@@ -36,7 +36,6 @@ from .terms import (
     le,
     mul,
     num,
-    sub,
     var,
 )
 

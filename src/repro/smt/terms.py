@@ -14,7 +14,7 @@ set members throughout the verifier.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Mapping
+from typing import Callable, Iterator, Mapping
 
 __all__ = [
     "Term",

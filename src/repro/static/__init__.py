@@ -1,0 +1,49 @@
+"""Sound static pre-analysis: classify shared variables before CIRC runs.
+
+CIRC pays the full CEGAR price -- predicate discovery, ARG construction,
+simulation checks -- for every variable it is pointed at, including ones
+that trivially cannot race.  This package is the cheap sound pass in front
+of it:
+
+* :mod:`protect` -- monitor inference (tagged ``lock()`` mutexes and
+  atomic test-and-set flags) plus must-held and dominator reasoning;
+* :mod:`mhp` -- may-happen-in-parallel over location pairs, with atomic
+  regions and inferred monitors as kill-sets;
+* :mod:`classify` -- the per-variable verdict lattice
+  ``{local, read-shared, protected, must-check}``;
+* :mod:`prefilter` -- the driver that feeds only ``must-check`` variables
+  into :func:`repro.circ.circ`.
+
+Entry points: :func:`classify` for a whole-program report,
+:func:`prefilter_check` (or ``check_race(..., prefilter=True)``) for one
+variable, and ``repro-race static FILE`` on the command line.
+"""
+
+from .classify import StaticReport, VariableVerdict, Verdict, classify
+from .mhp import MhpReport, mhp_analysis
+from .prefilter import StaticSafe, prefilter_check
+from .protect import (
+    Monitor,
+    dominators,
+    held_locks,
+    infer_monitors,
+    protecting_acquisition,
+    reachable_locations,
+)
+
+__all__ = [
+    "StaticReport",
+    "VariableVerdict",
+    "Verdict",
+    "classify",
+    "MhpReport",
+    "mhp_analysis",
+    "StaticSafe",
+    "prefilter_check",
+    "Monitor",
+    "dominators",
+    "held_locks",
+    "infer_monitors",
+    "protecting_acquisition",
+    "reachable_locations",
+]

@@ -1,7 +1,5 @@
 """Unit tests for Collapse (weak bisimulation minimization)."""
 
-import pytest
-
 from repro.acfa.acfa import Acfa, AcfaEdge
 from repro.acfa.collapse import collapse, project_acfa
 from repro.acfa.simulate import simulates

@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 
 from repro.acfa.acfa import Acfa, AcfaEdge
 from repro.acfa.collapse import collapse, project_acfa
-from repro.acfa.simulate import simulates, simulation_relation
+from repro.acfa.simulate import simulates
 from repro.smt import terms as T
 
 _LABEL_POOL = [

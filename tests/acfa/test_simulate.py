@@ -1,7 +1,5 @@
 """Unit tests for CheckSim (simulation between ACFAs)."""
 
-import pytest
-
 from repro.acfa.acfa import Acfa, AcfaEdge, empty_acfa
 from repro.acfa.simulate import label_entails, simulates, simulation_relation
 from repro.smt import terms as T

@@ -1,7 +1,5 @@
 """Unit tests for the nesC-compiler-style flow baseline."""
 
-import pytest
-
 from repro.baselines.flowcheck import flow_analysis
 from repro.nesc.model import Event, NescApp, Task
 from repro.nesc.programs import benchmark

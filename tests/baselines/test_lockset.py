@@ -1,7 +1,5 @@
 """Unit tests for the Eraser-style lockset baseline."""
 
-import pytest
-
 from repro.baselines.lockset import ATOMIC_LOCK, lockset_analysis
 from repro.lang import lower_source
 from repro.nesc.programs import TEST_AND_SET_SOURCE
@@ -97,3 +95,20 @@ def test_restrict_to_variables():
     report = lockset_analysis(cfa, variables=["x"])
     assert report.warns_on("x")
     assert not report.warns_on("y")
+
+
+def test_warnings_deterministically_sorted():
+    """Regression: warnings come out sorted by variable and with sorted
+    access sites regardless of the caller's iteration order."""
+    cfa = lower_source(
+        "global int c, a, b; thread t { while (1) { c = 1; a = 2; b = 3; } }"
+    )
+    for variables in (None, ["c", "a", "b"], {"b", "c", "a"}):
+        report = lockset_analysis(cfa, variables=variables)
+        names = [w.variable for w in report.warnings]
+        assert names == sorted(names) == ["a", "b", "c"]
+        for w in report.warnings:
+            assert list(w.access_sites) == sorted(set(w.access_sites))
+    # The candidate map iterates in sorted order too (stable CLI output).
+    report = lockset_analysis(cfa, variables={"b", "c", "a"})
+    assert list(report.candidate) == ["a", "b", "c"]

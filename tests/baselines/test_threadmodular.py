@@ -1,7 +1,5 @@
 """Unit tests for the stateless (thread-modular) context baseline."""
 
-import pytest
-
 from repro.acfa.acfa import Acfa, AcfaEdge
 from repro.baselines.threadmodular import (
     StatelessInsufficient,

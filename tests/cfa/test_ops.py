@@ -1,7 +1,5 @@
 """Unit tests for sp, wp, SSA and trace formulas."""
 
-import pytest
-
 from repro.cfa.cfa import AssignOp, AssumeOp
 from repro.cfa.ops import SsaBuilder, TraceStep, sp, trace_formula, wp
 from repro.smt import terms as T

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.circ import CircError, CircSafe, CircUnsafe, circ
+from repro.circ import CircSafe, CircUnsafe, circ
 from repro.exec import MultiProgram, replay
 from repro.lang import lower_source
 from repro.nesc.programs import TEST_AND_SET_SOURCE

@@ -1,7 +1,5 @@
 """Tests for the infinity-check variant (Section 5)."""
 
-import pytest
-
 from repro.circ import circ, omega_check
 from repro.lang import lower_source
 from repro.nesc.programs import TEST_AND_SET_SOURCE

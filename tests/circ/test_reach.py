@@ -9,10 +9,10 @@ from repro.circ.reach import (
     ReachBudgetExceeded,
     reach_and_build,
 )
-from repro.context.state import AbstractProgram, CtxMove, MainMove
+from repro.context.state import AbstractProgram, CtxMove
 from repro.lang import lower_source
 from repro.predabs.abstractor import Abstractor
-from repro.predabs.region import PredicateSet, Region, TOP
+from repro.predabs.region import PredicateSet, TOP
 from repro.smt import terms as T
 
 SEQ = "global int g; thread m { g = 1; g = 2; }"

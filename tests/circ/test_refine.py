@@ -3,9 +3,8 @@
 import pytest
 
 from repro.acfa.acfa import Acfa, AcfaEdge, empty_acfa
-from repro.cfa.cfa import AssignOp, AssumeOp, Edge
+from repro.cfa.cfa import AssignOp, AssumeOp
 from repro.circ.refine import (
-    MAX_CANDIDATES,
     RealRace,
     Refinement,
     _assign_threads,
@@ -13,7 +12,7 @@ from repro.circ.refine import (
     build_trace_formula,
     refine,
 )
-from repro.context.state import CtxMove, MainMove
+from repro.context.state import CtxMove
 from repro.lang import lower_source
 from repro.smt import terms as T
 from repro.smt.solver import is_sat
@@ -128,14 +127,6 @@ def test_trace_formula_figure5_shape():
 
 def test_refine_reports_real_race():
     cfa = lower_source("global int x; thread m { x = 1; }")
-    # Context: one move into a location that havocs x.
-    acfa = Acfa(
-        "ctx",
-        0,
-        [0, 1],
-        {0: (), 1: ()},
-        [AcfaEdge(0, frozenset(), 1), AcfaEdge(1, frozenset({"x"}), 1)],
-    )
     # Build a matching fake prev_reach by running reach on the empty ctx.
     from repro.circ.reach import reach_and_build
     from repro.context.state import AbstractProgram

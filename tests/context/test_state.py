@@ -1,7 +1,5 @@
 """Unit tests for abstract program states and the abstract post."""
 
-import pytest
-
 from repro.acfa.acfa import Acfa, AcfaEdge, empty_acfa
 from repro.context.counters import OMEGA, ContextState
 from repro.context.state import AbstractProgram, CtxMove, MainMove

@@ -1,7 +1,5 @@
 """Tests for the random-schedule simulator."""
 
-import pytest
-
 from repro.exec import MultiProgram, replay, simulate
 from repro.lang import lower_source
 

@@ -17,6 +17,18 @@ thread main {
 
 RACY = "global int x; thread t { while (1) { x = x + 1; } }"
 
+MIXED = """
+global int dead, ro, p, c;
+thread t {
+  local int a;
+  while (1) {
+    a = ro;
+    atomic { p = p + 1; }
+    c = c + 1;
+  }
+}
+"""
+
 
 @pytest.fixture
 def fig1_file(tmp_path):
@@ -29,6 +41,13 @@ def fig1_file(tmp_path):
 def racy_file(tmp_path):
     f = tmp_path / "racy.c"
     f.write_text(RACY)
+    return str(f)
+
+
+@pytest.fixture
+def mixed_file(tmp_path):
+    f = tmp_path / "mixed.c"
+    f.write_text(MIXED)
     return str(f)
 
 
@@ -88,9 +107,70 @@ def test_cfa_text(fig1_file, capsys):
     assert "CFA main" in capsys.readouterr().out
 
 
+def test_cfa_text_shows_access_sets(fig1_file, capsys):
+    assert main(["cfa", fig1_file]) == 0
+    out = capsys.readouterr().out
+    assert "global access sets per location:" in out
+    assert "writes={x}" in out
+    assert "reads={state}" in out
+
+
 def test_cfa_dot(fig1_file, capsys):
     assert main(["cfa", fig1_file, "--dot"]) == 0
-    assert capsys.readouterr().out.startswith("digraph")
+    out = capsys.readouterr().out
+    assert out.startswith("digraph")
+    assert "access sets" not in out  # dot output stays pure Graphviz
+
+
+def test_static_subcommand(mixed_file, capsys):
+    assert main(["static", mixed_file]) == 0
+    out = capsys.readouterr().out
+    assert "dead" in out and "local" in out
+    assert "read-shared" in out
+    assert "protected" in out
+    assert "must-check" in out
+    assert "1/4 need CIRC" in out
+
+
+def test_static_subcommand_json(mixed_file, capsys):
+    import json
+
+    assert main(["static", mixed_file, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["verdicts"]["dead"]["verdict"] == "local"
+    assert payload["verdicts"]["ro"]["verdict"] == "read-shared"
+    assert payload["verdicts"]["p"]["verdict"] == "protected"
+    assert payload["verdicts"]["c"]["verdict"] == "must-check"
+    assert payload["must_check"] == ["c"]
+
+
+def test_static_single_variable(mixed_file, capsys):
+    assert main(["static", mixed_file, "--var", "p"]) == 0
+    out = capsys.readouterr().out
+    assert "p" in out and "protected" in out
+    assert "dead" not in out
+
+
+def test_check_prefilter_prunes(mixed_file, capsys):
+    # c genuinely races, so the exit code stays 1 -- pruning p must not
+    # mask that.
+    assert main(["check", mixed_file, "--all"]) == 1
+    out = capsys.readouterr().out
+    assert "p: SAFE  [static: protected" in out
+    assert "c: RACE" in out  # CIRC still ran on c and found the bug
+
+
+def test_check_no_prefilter_runs_circ_everywhere(mixed_file, capsys):
+    assert main(["check", mixed_file, "--all", "--no-prefilter"]) == 1
+    out = capsys.readouterr().out
+    assert "static:" not in out
+    assert "predicates" in out  # p went through CIRC this time
+    assert "c: RACE" in out
+
+
+def test_check_prefilter_identical_verdict_on_race(racy_file, capsys):
+    assert main(["check", racy_file, "--var", "x"]) == 1
+    assert "RACE" in capsys.readouterr().out
 
 
 def test_missing_file(capsys):

@@ -4,7 +4,6 @@ import pytest
 
 from repro import check_race, check_race_bounded, lower_source
 from repro.baselines import lockset_analysis
-from repro.circ import circ
 
 DOUBLE_CHECKED = """
 global int data, ready;

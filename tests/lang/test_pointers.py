@@ -120,7 +120,6 @@ def test_elimination_produces_pointer_free_program():
     )
     rewritten, info = eliminate_pointers(program)
     from repro.lang import ast as A
-    from repro.smt.terms import subterms
 
     for stmt in rewritten.threads[0].body.stmts:
         assert not isinstance(stmt, A.DerefAssign)

@@ -11,7 +11,7 @@ explicit-state exploration with few threads.
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.exec import MultiProgram, explore
+from repro.exec import MultiProgram
 from repro.lang import lower_source
 from repro.parametric import CounterProgram, FiniteThread
 

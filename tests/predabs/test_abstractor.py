@@ -1,10 +1,8 @@
 """Unit tests for the Abs.P operator and abstract post."""
 
-import pytest
-
 from repro.cfa.cfa import AssignOp, AssumeOp
 from repro.predabs.abstractor import Abstractor
-from repro.predabs.region import BOTTOM, TOP, PredicateSet, Region
+from repro.predabs.region import BOTTOM, TOP, PredicateSet
 from repro.smt import terms as T
 
 x, y, state, old = (T.var(n) for n in ("x", "y", "state", "old"))

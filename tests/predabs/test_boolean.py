@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.cfa.cfa import AssignOp, AssumeOp
+from repro.cfa.cfa import AssignOp
 from repro.predabs.abstractor import Abstractor
-from repro.predabs.region import BOTTOM, BooleanRegion, PredicateSet, Region
+from repro.predabs.region import BooleanRegion, PredicateSet
 from repro.smt import terms as T
 from repro.smt.solver import equivalent
 

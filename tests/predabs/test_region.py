@@ -1,7 +1,5 @@
 """Unit tests for regions and predicate sets."""
 
-import pytest
-
 from repro.predabs.region import BOTTOM, TOP, PredicateSet, Region
 from repro.smt import terms as T
 

@@ -75,3 +75,26 @@ def test_sites_render():
     rendered = [str(f.site) for f in findings]
     assert any("atomic section" in s for s in rendered)
     assert any("lock discipline on 'm'" in s for s in rendered)
+
+
+def test_prefilter_discharges_double_protection_statically():
+    """Both removals leave x protected by the other construct, so the
+    static pre-analysis settles them without a single CIRC run."""
+    findings = find_redundant_sync(BELT_AND_SUSPENDERS, "x")
+    assert all(f.redundant for f in findings)
+    assert all("statically" in f.detail for f in findings)
+
+
+def test_prefilter_agrees_with_full_verification():
+    for source in (BELT_AND_SUSPENDERS, NECESSARY_ONLY, TEST_AND_SET):
+        fast = find_redundant_sync(source, "x", use_prefilter=True)
+        slow = find_redundant_sync(source, "x", use_prefilter=False)
+        assert [(str(f.site), f.redundant) for f in fast] == [
+            (str(f.site), f.redundant) for f in slow
+        ]
+
+
+def test_prefilter_still_catches_necessary_sync():
+    findings = find_redundant_sync(NECESSARY_ONLY, "x", use_prefilter=True)
+    (atomic_f,) = by_kind(findings, "atomic")
+    assert not atomic_f.redundant  # removal leaves must-check -> CIRC ran

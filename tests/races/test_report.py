@@ -1,7 +1,5 @@
 """Tests for the audit-report module."""
 
-import pytest
-
 from repro.lang import lower_source
 from repro.races.report import audit, render_markdown
 

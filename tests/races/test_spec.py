@@ -28,6 +28,55 @@ def test_shared_and_racy_variables():
     assert racy_variables(cfa) == {"x", "state"}  # ro is never written
 
 
+def test_read_only_global_shared_but_not_racy():
+    cfa = lower_source(
+        "global int ro, x; thread t { while (1) { x = ro + 1; } }"
+    )
+    assert "ro" in shared_variables(cfa)
+    assert "ro" not in racy_variables(cfa)
+
+
+def test_guard_only_read_counts_as_shared():
+    cfa = lower_source(
+        "global int g, x; thread t { while (1) { if (g == 0) { x = 1; } } }"
+    )
+    assert "g" in shared_variables(cfa)
+    assert "g" not in racy_variables(cfa)
+
+
+def test_write_only_global_is_racy():
+    """A variable that is only ever written can still race (write/write)."""
+    cfa = lower_source("global int w; thread t { while (1) { w = 1; } }")
+    assert shared_variables(cfa) == {"w"}
+    assert racy_variables(cfa) == {"w"}
+
+
+def test_unaccessed_global_is_neither():
+    cfa = lower_source("global int dead, x; thread t { x = 1; }")
+    assert "dead" not in shared_variables(cfa)
+    assert "dead" not in racy_variables(cfa)
+
+
+def test_function_local_shadowing_global_not_counted():
+    """A function-scope local named like a global shadows it: accesses hit
+    the renamed inlined copy, so the global is untouched."""
+    src = """
+    global int x, out;
+    void bump() { local int x; x = 7; out = x; }
+    thread t { while (1) { bump(); } }
+    """
+    cfa = lower_source(src)
+    assert "x" not in shared_variables(cfa)
+    assert "x" not in racy_variables(cfa)
+    assert "out" in racy_variables(cfa)
+
+
+def test_thread_level_shadowing_is_rejected():
+    """At thread scope, redeclaring a global is a duplicate declaration."""
+    with pytest.raises(ValueError):
+        lower_source("global int x; thread t { local int x; x = 1; }")
+
+
 def test_check_race_accepts_source_text():
     result = check_race(SRC, "x")
     assert result.safe
@@ -69,3 +118,20 @@ def test_multi_thread_program_selects_by_name():
     src = "global int g; thread a { g = 1; } thread b { skip; }"
     result = check_race(src, "g", thread="b")
     assert result.safe  # thread b never touches g
+
+
+def test_check_race_prefilter_fast_path():
+    from repro.static import StaticSafe
+
+    result = check_race(
+        "global int x; thread t { while (1) { atomic { x = x + 1; } } }",
+        "x",
+        prefilter=True,
+    )
+    assert result.safe and isinstance(result, StaticSafe)
+
+
+def test_check_race_prefilter_forwards_circ_options():
+    result = check_race(SRC, "x", prefilter=True, keep_history=True)
+    assert result.safe
+    assert result.stats.history  # x is must-check, so CIRC really ran

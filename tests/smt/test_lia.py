@@ -2,8 +2,6 @@
 
 from fractions import Fraction
 
-import pytest
-
 from repro.smt.lia import implies_conjunction, solve_conjunction
 from repro.smt.linear import LinEq, LinExpr, LinLe
 

@@ -1,0 +1,163 @@
+"""Unit tests for the verdict lattice.
+
+Every verdict class gets a positive example (a program classified as it)
+and a negative example (a near-identical program that is not), per the
+acceptance bar of the static pipeline: verdicts must be earned, not
+pattern-matched.
+"""
+
+import pytest
+
+from repro.lang import lower_source
+from repro.nesc.programs import TEST_AND_SET_SOURCE, benchmark
+from repro.static import Verdict, classify
+
+
+def verdict_of(source: str, var: str) -> Verdict:
+    cfa = lower_source(source)
+    return classify(cfa).verdict(var).verdict
+
+
+# -- local ------------------------------------------------------------------
+
+
+def test_local_positive_unaccessed_global():
+    src = "global int dead, x; thread t { x = 1; }"
+    assert verdict_of(src, "dead") is Verdict.LOCAL
+
+
+def test_local_positive_unreachable_access():
+    src = """
+    global int d, x;
+    thread t { while (1) { x = 1; } d = 1; }
+    """
+    # The loop never exits, so the access to d is unreachable and pruned
+    # by the frontend; d is dead to the template.
+    assert verdict_of(src, "d") is Verdict.LOCAL
+
+
+def test_local_negative_any_access():
+    src = "global int d; thread t { local int a; a = d; }"
+    assert verdict_of(src, "d") is not Verdict.LOCAL
+
+
+# -- read-shared ------------------------------------------------------------
+
+
+def test_read_shared_positive():
+    src = "global int ro, x; thread t { while (1) { x = ro; } }"
+    assert verdict_of(src, "ro") is Verdict.READ_SHARED
+
+
+def test_read_shared_guard_only_reads():
+    src = "global int ro, x; thread t { while (1) { if (ro == 0) { x = 1; } } }"
+    assert verdict_of(src, "ro") is Verdict.READ_SHARED
+
+
+def test_read_shared_negative_written_once():
+    src = "global int ro, x; thread t { while (1) { x = ro; ro = 1; } }"
+    assert verdict_of(src, "ro") is not Verdict.READ_SHARED
+
+
+# -- protected --------------------------------------------------------------
+
+
+def test_protected_positive_atomic_only():
+    src = "global int x; thread t { while (1) { atomic { x = x + 1; } } }"
+    assert verdict_of(src, "x") is Verdict.PROTECTED
+
+
+def test_protected_positive_lock_discipline():
+    src = """
+    global int m, x;
+    thread t { while (1) { lock(m); x = x + 1; unlock(m); } }
+    """
+    assert verdict_of(src, "x") is Verdict.PROTECTED
+
+
+def test_protected_positive_task_lock_flag():
+    """The nesC scheduler flag idiom: unconditional atomic test-and-set."""
+    cfa = benchmark("secureTosBase/gRxTailIndex").app.cfa()
+    report = classify(cfa)
+    assert report.verdict("gRxTailIndex").verdict is Verdict.PROTECTED
+    assert report.verdict("__taskLock").verdict is Verdict.PROTECTED
+
+
+def test_protected_negative_one_access_escapes_the_atomic():
+    src = """
+    global int x;
+    thread t { while (1) { atomic { x = x + 1; } x = 0; } }
+    """
+    assert verdict_of(src, "x") is Verdict.MUST_CHECK
+
+
+def test_protected_negative_partial_lock_discipline():
+    src = """
+    global int m, x;
+    thread t { while (1) { lock(m); x = x + 1; unlock(m); x = 0; } }
+    """
+    assert verdict_of(src, "x") is Verdict.MUST_CHECK
+
+
+# -- must-check -------------------------------------------------------------
+
+
+def test_must_check_positive_bare_counter():
+    src = "global int x; thread t { while (1) { x = x + 1; } }"
+    assert verdict_of(src, "x") is Verdict.MUST_CHECK
+
+
+def test_must_check_positive_figure1_idiom():
+    """The paper's motivating example must NOT be pruned: its safety
+    argument is data-dependent, exactly what CIRC exists for."""
+    cfa = lower_source(TEST_AND_SET_SOURCE)
+    report = classify(cfa)
+    assert report.verdict("x").verdict is Verdict.MUST_CHECK
+    assert report.verdict("state").verdict is Verdict.MUST_CHECK
+
+
+def test_must_check_negative_protected_is_prunable():
+    src = "global int x; thread t { while (1) { atomic { x = x + 1; } } }"
+    cfa = lower_source(src)
+    vv = classify(cfa).verdict("x")
+    assert vv.verdict is not Verdict.MUST_CHECK
+    assert vv.prunable and not vv.racing_pairs
+
+
+# -- report machinery -------------------------------------------------------
+
+
+def test_report_partitions_and_counts():
+    src = """
+    global int dead, ro, p, c;
+    thread t {
+      local int a;
+      while (1) {
+        a = ro;
+        atomic { p = p + 1; }
+        c = c + 1;
+      }
+    }
+    """
+    report = classify(lower_source(src))
+    assert report.must_check == ("c",)
+    assert report.pruned == ("dead", "p", "ro")
+    assert report.counts() == {
+        "local": 1,
+        "read-shared": 1,
+        "protected": 1,
+        "must-check": 1,
+    }
+    text = str(report)
+    assert "summary:" in text and "1/4 need CIRC" in text
+
+
+def test_classify_subset_of_variables():
+    src = "global int x, y; thread t { x = 1; }"
+    report = classify(lower_source(src), ["y"])
+    assert set(report.verdicts) == {"y"}
+
+
+def test_classify_rejects_unknown_variable():
+    with pytest.raises(ValueError):
+        classify(lower_source("global int x; thread t { x = 1; }"), ["nope"])

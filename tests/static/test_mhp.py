@@ -1,0 +1,134 @@
+"""Unit tests for the may-happen-in-parallel analysis."""
+
+from repro.cfa.cfa import CFA, AssignOp, Edge
+from repro.lang import lower_source
+from repro.smt import terms as T
+from repro.static import mhp_analysis
+
+
+def test_two_atomic_locations_never_co_enabled():
+    cfa = lower_source(
+        """
+        global int x, y;
+        thread t {
+          while (1) {
+            atomic { x = x + 1; }
+            atomic { y = y + 1; }
+          }
+        }
+        """
+    )
+    mhp = mhp_analysis(cfa)
+    a = sorted(cfa.atomic)
+    assert len(a) >= 2
+    assert not mhp.co_enabled(a[0], a[1])
+    assert not mhp.co_enabled(a[0], a[0])
+
+
+def test_atomic_plain_pair_co_enabled_but_not_a_race_pair():
+    cfa = lower_source(
+        """
+        global int x;
+        thread t {
+          while (1) {
+            atomic { x = x + 1; }
+            x = x + 2;
+          }
+        }
+        """
+    )
+    mhp = mhp_analysis(cfa)
+    atomic_site = next(
+        q for q in cfa.atomic if "x" in cfa.writes_at(q)
+    )
+    plain_site = next(
+        q
+        for q in cfa.locations - cfa.atomic
+        if "x" in cfa.writes_at(q)
+    )
+    # One thread can sit at a plain location while another is atomic...
+    assert mhp.co_enabled(atomic_site, plain_site)
+    # ...but a race state requires nobody atomic.
+    assert not mhp.race_pair(atomic_site, plain_site)
+    assert mhp.race_pair(plain_site, plain_site)
+
+
+def test_common_monitor_kills_the_pair():
+    cfa = lower_source(
+        """
+        global int m, x, y;
+        thread t {
+          while (1) {
+            lock(m);
+            x = x + 1;
+            y = y + 1;
+            unlock(m);
+          }
+        }
+        """
+    )
+    mhp = mhp_analysis(cfa)
+    x_site = next(q for q in cfa.locations if "x" in cfa.writes_at(q))
+    y_site = next(q for q in cfa.locations if "y" in cfa.writes_at(q))
+    assert not mhp.co_enabled(x_site, y_site)
+    assert "m" in mhp.excluded_by(x_site, y_site)
+
+
+def test_unreachable_location_excluded():
+    cfa = CFA(
+        name="t",
+        q0=0,
+        locations=[0, 1, 2, 3],
+        edges=[
+            Edge(0, AssignOp("x", T.num(1)), 1),
+            Edge(2, AssignOp("x", T.num(2)), 3),  # unreachable island
+        ],
+        globals_=["x"],
+    )
+    mhp = mhp_analysis(cfa)
+    assert not mhp.co_enabled(0, 2)
+    assert mhp.co_enabled(0, 0)
+
+
+def test_conflicting_pairs_on_a_plain_counter():
+    cfa = lower_source("global int x; thread t { while (1) { x = x + 1; } }")
+    mhp = mhp_analysis(cfa)
+    pairs = list(mhp.conflicting_pairs(cfa, "x"))
+    assert pairs, "an unprotected write must survive as a racing pair"
+    assert all(q1 <= q2 for q1, q2 in pairs)
+
+
+def test_conflicting_pairs_need_a_write():
+    cfa = lower_source(
+        "global int x; thread t { local int a; while (1) { a = x; } }"
+    )
+    mhp = mhp_analysis(cfa)
+    assert list(mhp.conflicting_pairs(cfa, "x")) == []
+
+
+def test_read_write_pair_conflicts():
+    cfa = lower_source(
+        """
+        global int x;
+        thread t {
+          local int a;
+          while (1) { if (*) { a = x; } else { x = 1; } }
+        }
+        """
+    )
+    mhp = mhp_analysis(cfa)
+    pairs = list(mhp.conflicting_pairs(cfa, "x"))
+    assert pairs
+
+
+def test_assume_guard_reads_count_as_accesses():
+    cfa = lower_source(
+        """
+        global int x;
+        thread t {
+          while (1) { if (x == 0) { x = 1; } }
+        }
+        """
+    )
+    mhp = mhp_analysis(cfa)
+    assert list(mhp.conflicting_pairs(cfa, "x"))
