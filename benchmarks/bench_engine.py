@@ -1,0 +1,190 @@
+"""The verification engine on the Table 1 nesC models.
+
+Three measurements over the same query set:
+
+* **cold** -- fresh cache, one worker: every must-check row pays a full
+  CIRC run, and the artifact cache is populated;
+* **warm** -- same cache, second run: every row must answer from the
+  content-addressed cache (hit rate >= 90%) in a fraction of the cold
+  wall-clock;
+* **parallel** -- fresh cache, one worker per CPU: the pool overlaps
+  independent rows, so wall-clock drops below the cold serial run on
+  multi-core machines (asserted only loosely: CI machines vary).
+
+Every engine verdict is checked against a plain serial ``circ`` run of
+the same query -- the cache and the pool are pure accelerators and must
+never change an answer.
+
+Standalone run (writes ``BENCH_engine.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--full-table1]
+
+Under pytest the same measurements run on the fast subset::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine.py -q
+"""
+
+import json
+import os
+import time
+
+from repro.circ import circ
+from repro.engine import BatchItem, run_batch
+from repro.nesc import BENCHMARKS
+
+#: The slow rows are skipped unless --full-table1 is given.
+_SLOW = {"sense/tosPort"}
+
+
+def table1_items(full: bool = False) -> list[BatchItem]:
+    rows = [b for b in BENCHMARKS if full or b.key not in _SLOW]
+    return [
+        BatchItem(
+            model=b.key,
+            source=b.app.thread_source(),
+            variables=(b.variable.replace("_buggy", ""),),
+        )
+        for b in rows
+    ]
+
+
+def serial_verdicts(items: list[BatchItem]) -> dict:
+    """Ground truth: plain circ per query, no engine anywhere."""
+    out = {}
+    for item in items:
+        for v in item.variables:
+            from repro.lang.lower import lower_source
+
+            result = circ(lower_source(item.source, item.thread), race_on=v)
+            out[(item.model, v)] = "safe" if result.safe else "race"
+    return out
+
+
+def run_modes(items: list[BatchItem], cache_dir: str) -> dict:
+    """Cold, warm, and parallel engine runs over one query set."""
+    t0 = time.perf_counter()
+    cold = run_batch(items, cache_dir=cache_dir, workers=1)
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = run_batch(items, cache_dir=cache_dir, workers=1)
+    warm_s = time.perf_counter() - t0
+
+    par_dir = cache_dir + "-par"
+    t0 = time.perf_counter()
+    par = run_batch(
+        items, cache_dir=par_dir, workers=os.cpu_count() or 2
+    )
+    par_s = time.perf_counter() - t0
+
+    def rows(report):
+        return {
+            (r.model, r.variable): {
+                "verdict": r.verdict,
+                "source": r.source,
+                "time_ms": round(r.time_ms, 3),
+            }
+            for r in report.rows
+        }
+
+    return {
+        "cold": {
+            "wall_s": round(cold_s, 3),
+            "hit_rate": cold.hit_rate,
+            "rows": rows(cold),
+            "report": cold,
+        },
+        "warm": {
+            "wall_s": round(warm_s, 3),
+            "hit_rate": warm.hit_rate,
+            "rows": rows(warm),
+            "report": warm,
+        },
+        "parallel": {
+            "wall_s": round(par_s, 3),
+            "hit_rate": par.hit_rate,
+            "rows": rows(par),
+            "report": par,
+        },
+    }
+
+
+def check_equivalence(modes: dict, truth: dict) -> None:
+    """Engine runs must reproduce the serial circ verdicts exactly."""
+    for mode, data in modes.items():
+        got = {k: v["verdict"] for k, v in data["rows"].items()}
+        assert got == truth, f"{mode} run diverged from serial circ: " + str(
+            {k: (got[k], truth[k]) for k in truth if got[k] != truth[k]}
+        )
+
+
+# -- pytest entry points (fast subset) ----------------------------------------
+
+
+def test_engine_matches_serial_and_caches(tmp_path, full_table1):
+    items = table1_items(full=full_table1)
+    truth = serial_verdicts(items)
+    modes = run_modes(items, str(tmp_path / "cache"))
+    check_equivalence(modes, truth)
+    warm = modes["warm"]
+    assert warm["hit_rate"] >= 0.9, warm["hit_rate"]
+    assert warm["wall_s"] <= modes["cold"]["wall_s"]
+    assert all(
+        v["source"] in ("cache", "static") for v in warm["rows"].values()
+    )
+
+
+# -- standalone entry point ---------------------------------------------------
+
+
+def main(argv=None) -> int:
+    import argparse
+    import tempfile
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--full-table1", action="store_true")
+    parser.add_argument("--out", default="BENCH_engine.json")
+    args = parser.parse_args(argv)
+
+    items = table1_items(full=args.full_table1)
+    print(f"{len(items)} Table 1 queries; computing serial ground truth ...")
+    t0 = time.perf_counter()
+    truth = serial_verdicts(items)
+    serial_s = time.perf_counter() - t0
+    print(f"serial circ: {serial_s:.1f}s")
+
+    with tempfile.TemporaryDirectory(prefix="bench-engine-") as cache_dir:
+        modes = run_modes(items, os.path.join(cache_dir, "cache"))
+    check_equivalence(modes, truth)
+
+    for mode in ("cold", "warm", "parallel"):
+        d = modes[mode]
+        print(
+            f"{mode:9s} wall {d['wall_s']:7.2f}s  "
+            f"hit rate {d['hit_rate']:.0%}"
+        )
+    speedup = modes["cold"]["wall_s"] / max(modes["warm"]["wall_s"], 1e-9)
+    print(f"warm speedup over cold: {speedup:.0f}x")
+
+    payload = {
+        "benchmark": "engine",
+        "queries": len(items),
+        "full_table1": args.full_table1,
+        "serial_wall_s": round(serial_s, 3),
+        "modes": {
+            mode: {k: v for k, v in d.items() if k != "report"}
+            for mode, d in modes.items()
+        },
+        "verdicts_match_serial": True,
+    }
+    # JSON keys must be strings.
+    for d in payload["modes"].values():
+        d["rows"] = {f"{m}/{v}": row for (m, v), row in d["rows"].items()}
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

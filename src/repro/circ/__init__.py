@@ -1,6 +1,6 @@
 """The CIRC race-checking algorithm: reachability, refinement, main loop."""
 
-from .circ import CircError, circ
+from .circ import CircBudgetExceeded, CircError, circ
 from .multi import MultiSafe, MultiUnsafe, circ_multi
 from .omega import omega_check
 from .reach import (
@@ -18,4 +18,4 @@ from .refine import (
     build_trace_formula,
     refine,
 )
-from .result import CircSafe, CircStats, CircUnsafe, IterationRecord
+from .result import CircSafe, CircStats, CircUnknown, CircUnsafe, IterationRecord

@@ -38,15 +38,29 @@ from ..smt import terms as T
 from .omega import omega_check
 from .reach import AbstractRaceFound, ReachResult, reach_and_build
 from .refine import MiningStrategy, RealRace, Refinement, RefinementFailure, refine
-from .result import CircSafe, CircStats, CircUnsafe, IterationRecord
+from .result import CircSafe, CircStats, CircUnknown, CircUnsafe, IterationRecord
 
-__all__ = ["CircError", "circ", "omega_check"]
+__all__ = ["CircError", "CircBudgetExceeded", "circ", "omega_check"]
 
 Variant = Literal["circ", "omega"]
 
 
 class CircError(RuntimeError):
     """CIRC did not converge within its iteration budgets."""
+
+
+class CircBudgetExceeded(CircError):
+    """An explicit caller-supplied budget (``max_iterations`` or
+    ``timeout_s``) ran out before CIRC reached a verdict.
+
+    Wraps the :class:`~repro.circ.result.CircUnknown` verdict in
+    ``result`` so callers that prefer a value to an exception (the batch
+    engine, ``check_race``) can unwrap it.
+    """
+
+    def __init__(self, result: CircUnknown):
+        super().__init__(result.reason)
+        self.result = result
 
 
 def circ(
@@ -61,6 +75,8 @@ def circ(
     max_outer: int = 40,
     max_inner: int = 40,
     max_states: int = 500_000,
+    max_iterations: int | None = None,
+    timeout_s: float | None = None,
     keep_history: bool = False,
     validate_witness: bool = True,
 ) -> CircSafe | CircUnsafe:
@@ -70,6 +86,14 @@ def circ(
     Returns :class:`CircSafe` or :class:`CircUnsafe`; raises
     :class:`CircError` when the iteration budget is exhausted (the problem
     is undecidable in general -- Theorem 1 gives soundness on termination).
+
+    ``max_iterations`` caps the *total* number of inner iterations across
+    all restarts and ``timeout_s`` caps wall-clock time; exceeding either
+    raises :class:`CircBudgetExceeded`, whose ``result`` attribute is the
+    :class:`~repro.circ.result.CircUnknown` verdict carrying partial
+    statistics and the predicates discovered so far.  Both default to
+    ``None`` (no budget), preserving the historical behavior of looping
+    until ``max_outer``/``max_inner`` give up with a plain ``CircError``.
     """
     if race_on is None and not check_errors:
         raise ValueError("nothing to check: give race_on or check_errors")
@@ -82,6 +106,29 @@ def circ(
         if keep_history:
             stats.history.append(rec)
 
+    def check_budget() -> None:
+        elapsed = time.perf_counter() - start_time
+        if timeout_s is not None and elapsed > timeout_s:
+            reason = f"wall-clock budget of {timeout_s:g}s exceeded"
+        elif (
+            max_iterations is not None
+            and stats.inner_iterations >= max_iterations
+        ):
+            reason = f"iteration budget of {max_iterations} exceeded"
+        else:
+            return
+        stats.n_predicates = len(preds)
+        stats.final_k = k
+        stats.elapsed_seconds = elapsed
+        raise CircBudgetExceeded(
+            CircUnknown(
+                variable=race_on,
+                reason=reason,
+                predicates=tuple(preds),
+                stats=stats,
+            )
+        )
+
     for outer in range(1, max_outer + 1):
         stats.outer_iterations = outer
         context: Acfa = empty_acfa()
@@ -91,6 +138,7 @@ def circ(
         refined = False
 
         for inner in range(1, max_inner + 1):
+            check_budget()
             stats.inner_iterations += 1
             program = AbstractProgram(cfa, abstractor, context, k)
             try:

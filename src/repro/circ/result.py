@@ -9,7 +9,14 @@ from ..acfa.acfa import Acfa
 from ..cfa.cfa import Edge
 from ..smt import terms as T
 
-__all__ = ["IterationRecord", "CircStats", "CircSafe", "CircUnsafe", "CircResult"]
+__all__ = [
+    "IterationRecord",
+    "CircStats",
+    "CircSafe",
+    "CircUnsafe",
+    "CircUnknown",
+    "CircResult",
+]
 
 
 @dataclass
@@ -55,6 +62,10 @@ class CircSafe:
     def safe(self) -> bool:
         return True
 
+    @property
+    def unknown(self) -> bool:
+        return False
+
     def __str__(self) -> str:
         preds = ", ".join(T.pretty(p) for p in self.predicates) or "(none)"
         return (
@@ -80,6 +91,10 @@ class CircUnsafe:
     def safe(self) -> bool:
         return False
 
+    @property
+    def unknown(self) -> bool:
+        return False
+
     def __str__(self) -> str:
         lines = [
             f"UNSAFE: race on {self.variable!r} with "
@@ -90,4 +105,38 @@ class CircUnsafe:
         return "\n".join(lines)
 
 
-CircResult = CircSafe | CircUnsafe
+@dataclass
+class CircUnknown:
+    """CIRC gave up within an explicit resource budget (Section 5 caveat:
+    the problem is undecidable, so divergent refinement sequences exist).
+
+    Neither a proof nor a counterexample: ``safe`` is ``False`` because
+    safety was *not established*, and ``unknown`` distinguishes this from
+    a genuine race verdict.  Carries the partial statistics and the
+    predicates discovered before the budget ran out (useful as warm-start
+    seeds for a retry with a larger budget).
+    """
+
+    variable: str | None
+    reason: str
+    predicates: tuple[T.Term, ...]
+    stats: CircStats
+
+    @property
+    def safe(self) -> bool:
+        return False
+
+    @property
+    def unknown(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return (
+            f"UNKNOWN: no verdict on {self.variable!r} -- {self.reason}\n"
+            f"  iterations: {self.stats.outer_iterations} outer / "
+            f"{self.stats.inner_iterations} inner, "
+            f"{self.stats.elapsed_seconds:.1f}s"
+        )
+
+
+CircResult = CircSafe | CircUnsafe | CircUnknown

@@ -26,6 +26,16 @@ Subcommands
 
 ``bench [APP]``
     Run the bundled nesC benchmark models (Table 1 of the paper).
+
+``batch FILE... [--nesc [APP]]``
+    Verify many (model, variable) queries through the verification
+    engine: static pruning, a content-addressed on-disk artifact cache
+    (re-runs answer instantly), predicate warm-starting, and a parallel
+    worker pool.  ``--json`` emits the shared report schema also used
+    by ``static --json``.
+
+Exit codes: 0 verified, 1 race found, 2 usage/parse error, 3 budget
+exhausted (explore), 4 verification undecided (UNKNOWN verdict).
 """
 
 from __future__ import annotations
@@ -37,7 +47,7 @@ from pathlib import Path
 
 from .baselines.lockset import lockset_analysis
 from .baselines.threadmodular import thread_modular
-from .circ import CircError, circ
+from .circ import CircBudgetExceeded, CircError, circ
 from .exec.interp import MultiProgram, explore
 from .lang.lower import lower_source
 from .races.spec import racy_variables
@@ -94,13 +104,20 @@ def _cmd_check(args) -> int:
                 race_on=var,
                 variant="omega" if args.omega else "circ",
                 k=args.k,
+                max_iterations=args.max_iterations,
+                timeout_s=args.timeout,
             )
+        except CircBudgetExceeded as exc:
+            result = exc.result
         except CircError as exc:
             print(f"{var}: UNDECIDED ({exc})")
             status = 3
             continue
         elapsed = time.perf_counter() - start
-        if result.safe:
+        if result.unknown:
+            print(f"{var}: UNKNOWN  [{elapsed:.1f}s, {result.reason}]")
+            status = 4
+        elif result.safe:
             print(
                 f"{var}: SAFE  [{elapsed:.1f}s, "
                 f"{len(result.predicates)} predicates, "
@@ -216,7 +233,16 @@ def _cmd_static(args) -> int:
     if args.json:
         import json
 
+        from .races.report import REPORT_SCHEMA, rows_from_static
+
         payload = {
+            "schema": REPORT_SCHEMA,
+            "report": [
+                r.to_obj()
+                for r in rows_from_static(
+                    report, model=Path(args.file).name
+                )
+            ],
             "thread": report.cfa_name,
             "monitors": [
                 {"variable": m.variable, "kind": m.kind}
@@ -291,6 +317,89 @@ def _cmd_bench(args) -> int:
     return status
 
 
+def _cmd_batch(args) -> int:
+    from .engine import BatchItem, run_batch
+    from .races.report import (
+        render_rows_table,
+        rows_from_batch,
+        rows_to_payload,
+    )
+
+    items = []
+    for path in args.files:
+        items.append(
+            BatchItem(
+                model=Path(path).name,
+                source=Path(path).read_text(),
+                thread=args.thread,
+                variables=(args.var,) if args.var else None,
+            )
+        )
+    if args.nesc is not None:
+        from .nesc.programs import BENCHMARKS
+
+        for b in BENCHMARKS:
+            if args.nesc and b.app_name != args.nesc:
+                continue
+            items.append(
+                BatchItem(
+                    model=b.key,
+                    source=b.app.thread_source(),
+                    variables=(b.variable.replace("_buggy", ""),),
+                )
+            )
+    if not items:
+        print(
+            "error: give FILE arguments and/or --nesc [APP]",
+            file=sys.stderr,
+        )
+        return 2
+
+    options = {"variant": "omega" if args.omega else "circ", "k": args.k}
+    if args.max_iterations is not None:
+        options["max_iterations"] = args.max_iterations
+    if args.timeout is not None:
+        options["timeout_s"] = args.timeout
+    report = run_batch(
+        items,
+        cache_dir=None if args.no_cache else args.cache,
+        workers=args.jobs,
+        events=args.events,
+        prefilter=not args.no_prefilter,
+        **options,
+    )
+    rows = rows_from_batch(report)
+    summary = {
+        "queries": len(report.rows),
+        "jobs": report.n_jobs,
+        "static": report.n_static,
+        "deduped": report.n_deduped,
+        "races": len(report.races),
+        "unknown": len(report.unknown),
+        "cache": report.cache_stats,
+        "hit_rate": round(report.hit_rate, 4),
+        "wall_ms": round(report.wall_ms, 3),
+    }
+    if args.json:
+        import json
+
+        print(json.dumps(rows_to_payload(rows, summary=summary), indent=2))
+    else:
+        print(render_rows_table(rows))
+        print(
+            f"\n{summary['queries']} queries: "
+            f"{summary['static']} static, {summary['deduped']} deduped, "
+            f"{summary['races']} race(s), {summary['unknown']} unknown; "
+            f"cache hit rate {summary['hit_rate']:.0%}; "
+            f"{report.wall_ms / 1000.0:.1f}s"
+        )
+    if report.races:
+        return 1
+    if report.unknown:
+        return 4
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-race",
@@ -311,6 +420,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-prefilter",
         action="store_true",
         help="run CIRC on every variable, skipping the static pre-analysis",
+    )
+    p.add_argument(
+        "--max-iterations",
+        type=int,
+        help="abstraction-refinement iteration budget (UNKNOWN when hit)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="per-variable wall-clock budget (UNKNOWN when hit)",
     )
     p.set_defaults(func=_cmd_check)
 
@@ -367,6 +487,59 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bench", help="run the bundled nesC models")
     p.add_argument("app", nargs="?", help="secureTosBase | surge | sense")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "batch",
+        help="verify many queries through the caching/parallel engine",
+    )
+    p.add_argument("files", nargs="*", metavar="FILE", help="mini-C programs")
+    p.add_argument(
+        "--nesc",
+        nargs="?",
+        const="",
+        metavar="APP",
+        help="include the bundled nesC models (optionally one app)",
+    )
+    p.add_argument("--var", help="check one global (default: every written global)")
+    p.add_argument("--thread", help="thread name for multi-thread files")
+    p.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        help="worker processes (default: CPU count; 1 = in-process)",
+    )
+    p.add_argument(
+        "--cache",
+        default=".repro-cache",
+        metavar="DIR",
+        help="artifact cache directory (default: .repro-cache)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true", help="disable the artifact cache"
+    )
+    p.add_argument(
+        "--events", metavar="FILE", help="append JSONL telemetry to FILE"
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument("--omega", action="store_true", help="use the infinity-check variant")
+    p.add_argument("-k", type=int, default=1, help="initial counter bound")
+    p.add_argument(
+        "--no-prefilter",
+        action="store_true",
+        help="plan a CIRC job for every variable",
+    )
+    p.add_argument(
+        "--max-iterations",
+        type=int,
+        help="per-job refinement iteration budget (UNKNOWN when hit)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="per-job wall-clock budget (UNKNOWN when hit)",
+    )
+    p.set_defaults(func=_cmd_batch)
 
     return parser
 

@@ -1,0 +1,42 @@
+"""The batch verification engine (planner -> scheduler -> cache).
+
+Turns the one-shot CIRC checker into an engine that serves many
+(program, variable) queries fast: static pruning, content-addressed
+artifact caching keyed on canonical slice digests, predicate
+warm-starting, and a crash-tolerant multiprocessing scheduler.  See
+docs/ALGORITHM.md section 8 for the architecture and the cache
+soundness argument.
+"""
+
+from .cache import ArtifactCache, CacheEntry
+from .digest import (
+    SliceView,
+    relevant_variables,
+    shape_key,
+    slice_digest,
+    slice_view,
+)
+from .engine import BatchReport, run_batch, verify_one
+from .events import EventLog
+from .planner import BatchItem, Job, JobResult, options_fingerprint, plan
+from .scheduler import execute
+
+__all__ = [
+    "ArtifactCache",
+    "CacheEntry",
+    "SliceView",
+    "relevant_variables",
+    "shape_key",
+    "slice_digest",
+    "slice_view",
+    "BatchReport",
+    "run_batch",
+    "verify_one",
+    "EventLog",
+    "BatchItem",
+    "Job",
+    "JobResult",
+    "options_fingerprint",
+    "plan",
+    "execute",
+]

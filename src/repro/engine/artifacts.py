@@ -1,0 +1,301 @@
+"""JSON serialization of verification artifacts.
+
+Cache entries must survive process boundaries and partial disk writes, so
+everything the engine persists -- verdicts, discovered predicate sets,
+collapsed context ACFAs, race witnesses -- round-trips through plain JSON
+here rather than pickle: a corrupted or truncated entry surfaces as a
+:class:`ArtifactError` (or a JSON decode error) that the cache layer
+treats as a miss, never as arbitrary code execution or a crash.
+
+Terms serialize structurally (tagged trees mirroring ``Term.key()``),
+ACFAs as location/label/edge tables, and results as tagged objects; see
+``result_to_obj``/``result_from_obj`` for the top-level entry points.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..acfa.acfa import Acfa, AcfaEdge
+from ..cfa.cfa import AssignOp, AssumeOp, Edge
+from ..circ.result import (
+    CircResult,
+    CircSafe,
+    CircStats,
+    CircUnknown,
+    CircUnsafe,
+)
+from ..smt import terms as T
+
+__all__ = [
+    "ArtifactError",
+    "term_to_obj",
+    "term_from_obj",
+    "acfa_to_obj",
+    "acfa_from_obj",
+    "result_to_obj",
+    "result_from_obj",
+]
+
+
+class ArtifactError(ValueError):
+    """A serialized artifact does not match the expected schema."""
+
+
+# -- terms -------------------------------------------------------------------
+
+_NULLARY = {"nondet"}
+_NAMED = {"var", "addrof", "deref"}
+_VALUED = {"int", "bool"}
+_VARIADIC = {"add", "and", "or"}
+_UNARY = {"neg", "not"}
+_BINARY = {"sub", "mul", "implies", "iff"}
+
+_TAG_TO_CLASS = {
+    "var": T.Var,
+    "int": T.IntConst,
+    "bool": T.BoolConst,
+    "add": T.Add,
+    "sub": T.Sub,
+    "neg": T.Neg,
+    "mul": T.Mul,
+    "cmp": T.Cmp,
+    "not": T.Not,
+    "and": T.And,
+    "or": T.Or,
+    "implies": T.Implies,
+    "iff": T.Iff,
+}
+
+
+def term_to_obj(t: T.Term) -> Any:
+    """Serialize a term as a tagged JSON tree."""
+    tag = t.key()[0]
+    if tag in _NULLARY:
+        return [tag]
+    if tag in _NAMED:
+        return [tag, t.name]
+    if tag in _VALUED:
+        return [tag, t.value]
+    if tag in _VARIADIC:
+        return [tag, [term_to_obj(a) for a in t.args]]
+    if tag in _UNARY:
+        return [tag, term_to_obj(t.arg)]
+    if tag in _BINARY:
+        return [tag, term_to_obj(t.lhs), term_to_obj(t.rhs)]
+    if tag == "cmp":
+        return [tag, t.op, term_to_obj(t.lhs), term_to_obj(t.rhs)]
+    raise ArtifactError(f"cannot serialize term {t!r}")
+
+
+def term_from_obj(obj: Any) -> T.Term:
+    """Rebuild a term from its tagged JSON tree."""
+    if not isinstance(obj, list) or not obj:
+        raise ArtifactError(f"malformed term payload {obj!r}")
+    tag = obj[0]
+    try:
+        if tag in _NULLARY:
+            from ..lang.ast import NONDET
+
+            return NONDET
+        if tag in _NAMED:
+            if tag == "var":
+                return T.Var(obj[1])
+            from ..lang import ast as A
+
+            return (A.AddrOf if tag == "addrof" else A.Deref)(obj[1])
+        if tag in _VALUED:
+            return _TAG_TO_CLASS[tag](obj[1])
+        if tag in _VARIADIC:
+            return _TAG_TO_CLASS[tag](
+                tuple(term_from_obj(a) for a in obj[1])
+            )
+        if tag in _UNARY:
+            return _TAG_TO_CLASS[tag](term_from_obj(obj[1]))
+        if tag in _BINARY:
+            return _TAG_TO_CLASS[tag](
+                term_from_obj(obj[1]), term_from_obj(obj[2])
+            )
+        if tag == "cmp":
+            return T.Cmp(obj[1], term_from_obj(obj[2]), term_from_obj(obj[3]))
+    except (IndexError, TypeError, KeyError) as exc:
+        raise ArtifactError(f"malformed term payload {obj!r}") from exc
+    raise ArtifactError(f"unknown term tag {tag!r}")
+
+
+# -- CFA edges (race witnesses) ----------------------------------------------
+
+
+def _edge_to_obj(e: Edge) -> Any:
+    if isinstance(e.op, AssignOp):
+        op = ["assign", e.op.lhs, term_to_obj(e.op.rhs)]
+    else:
+        op = ["assume", term_to_obj(e.op.pred)]
+    return {
+        "src": e.src,
+        "dst": e.dst,
+        "op": op,
+        "lock": list(e.lock_info) if e.lock_info else None,
+    }
+
+
+def _edge_from_obj(obj: Any) -> Edge:
+    try:
+        kind = obj["op"][0]
+        if kind == "assign":
+            op = AssignOp(obj["op"][1], term_from_obj(obj["op"][2]))
+        elif kind == "assume":
+            op = AssumeOp(term_from_obj(obj["op"][1]))
+        else:
+            raise ArtifactError(f"unknown op kind {kind!r}")
+        lock = tuple(obj["lock"]) if obj.get("lock") else None
+        return Edge(int(obj["src"]), op, int(obj["dst"]), lock)
+    except (KeyError, IndexError, TypeError) as exc:
+        raise ArtifactError(f"malformed edge payload {obj!r}") from exc
+
+
+# -- ACFAs -------------------------------------------------------------------
+
+
+def acfa_to_obj(acfa: Acfa) -> Any:
+    return {
+        "name": acfa.name,
+        "q0": acfa.q0,
+        "entries": sorted(acfa.entries),
+        "locations": sorted(acfa.locations),
+        "atomic": sorted(acfa.atomic),
+        "label": {
+            str(q): [term_to_obj(t) for t in acfa.label[q]]
+            for q in sorted(acfa.locations)
+        },
+        "edges": [
+            [e.src, sorted(e.havoc), e.dst] for e in acfa.edges
+        ],
+    }
+
+
+def acfa_from_obj(obj: Any) -> Acfa:
+    try:
+        return Acfa(
+            name=obj["name"],
+            q0=int(obj["q0"]),
+            locations=[int(q) for q in obj["locations"]],
+            label={
+                int(q): tuple(term_from_obj(t) for t in terms)
+                for q, terms in obj["label"].items()
+            },
+            edges=[
+                AcfaEdge(int(src), frozenset(havoc), int(dst))
+                for src, havoc, dst in obj["edges"]
+            ],
+            atomic=[int(q) for q in obj["atomic"]],
+            entries=[int(q) for q in obj["entries"]],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactError(f"malformed ACFA payload: {exc}") from exc
+
+
+# -- stats and results -------------------------------------------------------
+
+
+def _stats_to_obj(stats: CircStats) -> Any:
+    return {
+        "outer_iterations": stats.outer_iterations,
+        "inner_iterations": stats.inner_iterations,
+        "n_predicates": stats.n_predicates,
+        "final_acfa_size": stats.final_acfa_size,
+        "abstract_states": stats.abstract_states,
+        "final_k": stats.final_k,
+        "elapsed_seconds": stats.elapsed_seconds,
+    }
+
+
+def _stats_from_obj(obj: Any) -> CircStats:
+    try:
+        return CircStats(
+            outer_iterations=int(obj["outer_iterations"]),
+            inner_iterations=int(obj["inner_iterations"]),
+            n_predicates=int(obj["n_predicates"]),
+            final_acfa_size=int(obj["final_acfa_size"]),
+            abstract_states=int(obj["abstract_states"]),
+            final_k=int(obj["final_k"]),
+            elapsed_seconds=float(obj["elapsed_seconds"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactError(f"malformed stats payload: {exc}") from exc
+
+
+def result_to_obj(result: CircResult) -> Any:
+    """Serialize any CIRC verdict (including static proofs, which
+    round-trip as plain ``CircSafe``: the cache stores what was proved,
+    not which layer proved it -- the job record keeps that)."""
+    if isinstance(result, CircSafe):
+        return {
+            "kind": "safe",
+            "variable": result.variable,
+            "predicates": [term_to_obj(p) for p in result.predicates],
+            "context": acfa_to_obj(result.context),
+            "stats": _stats_to_obj(result.stats),
+        }
+    if isinstance(result, CircUnsafe):
+        return {
+            "kind": "race",
+            "variable": result.variable,
+            "n_threads": result.n_threads,
+            "steps": [
+                [tid, _edge_to_obj(edge)] for tid, edge in result.steps
+            ],
+            "predicates": [term_to_obj(p) for p in result.predicates],
+            "stats": _stats_to_obj(result.stats),
+        }
+    if isinstance(result, CircUnknown):
+        return {
+            "kind": "unknown",
+            "variable": result.variable,
+            "reason": result.reason,
+            "predicates": [term_to_obj(p) for p in result.predicates],
+            "stats": _stats_to_obj(result.stats),
+        }
+    raise ArtifactError(f"cannot serialize result {result!r}")
+
+
+def result_from_obj(obj: Any) -> CircResult:
+    """Rebuild a verdict; raises :class:`ArtifactError` on any mismatch."""
+    if not isinstance(obj, dict):
+        raise ArtifactError(f"malformed result payload {obj!r}")
+    kind = obj.get("kind")
+    try:
+        if kind == "safe":
+            return CircSafe(
+                variable=obj["variable"],
+                predicates=tuple(
+                    term_from_obj(p) for p in obj["predicates"]
+                ),
+                context=acfa_from_obj(obj["context"]),
+                stats=_stats_from_obj(obj["stats"]),
+            )
+        if kind == "race":
+            return CircUnsafe(
+                variable=obj["variable"],
+                steps=[
+                    (int(tid), _edge_from_obj(edge))
+                    for tid, edge in obj["steps"]
+                ],
+                n_threads=int(obj["n_threads"]),
+                predicates=tuple(
+                    term_from_obj(p) for p in obj["predicates"]
+                ),
+                stats=_stats_from_obj(obj["stats"]),
+            )
+        if kind == "unknown":
+            return CircUnknown(
+                variable=obj["variable"],
+                reason=obj["reason"],
+                predicates=tuple(
+                    term_from_obj(p) for p in obj["predicates"]
+                ),
+                stats=_stats_from_obj(obj["stats"]),
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactError(f"malformed result payload: {exc}") from exc
+    raise ArtifactError(f"unknown result kind {kind!r}")

@@ -1,0 +1,239 @@
+"""Content-addressed on-disk cache of verification artifacts.
+
+Layout (everything under one cache root, safe to delete at any time)::
+
+    objects/<dd>/<digest>.json   full artifact: verdict + predicates + ACFA
+    shapes/<dd>/<shape>.json     warm-start index: predicates by slice shape
+
+Entries are keyed by the slice digest of :mod:`repro.engine.digest`, so a
+hit *means* the lowered slice relevant to the variable is byte-identical
+to the one verified before -- renaming files, editing unrelated threads,
+reformatting, or rewriting the expressions of statements on irrelevant
+variables all still hit.
+
+Robustness rules:
+
+* writes are atomic (temp file + ``os.replace``) so a killed process
+  never leaves a half-written object visible;
+* every object embeds a checksum of its payload; reads verify it and
+  treat any mismatch, decode error, or schema violation as a **miss**
+  (the corrupt file is unlinked so the slot heals on the next store);
+* concurrent writers may race on the same key -- last ``os.replace``
+  wins, which is fine because both wrote equivalent artifacts for the
+  same content digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from ..circ.result import CircResult
+from ..smt import terms as T
+from .artifacts import (
+    ArtifactError,
+    result_from_obj,
+    result_to_obj,
+    term_from_obj,
+    term_to_obj,
+)
+
+__all__ = ["CacheEntry", "ArtifactCache"]
+
+#: Bump when the on-disk entry format changes.
+CACHE_FORMAT = "circ-cache-v1"
+
+
+@dataclass
+class CacheEntry:
+    """A deserialized cache object."""
+
+    digest: str
+    result: CircResult
+    options_fp: str
+
+
+def _payload_checksum(payload: Any) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _atomic_write(path: Path, data: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=".tmp-", suffix=".json"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class ArtifactCache:
+    """The on-disk artifact store.
+
+    ``options_fp`` is a fingerprint of the verifier options that can
+    change the *artifacts* (variant, abstraction, strategy, budgets); it
+    is mixed into the storage key so runs with different configurations
+    never serve each other's entries.
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+
+    # -- storage keys --------------------------------------------------------
+
+    def _object_path(self, digest: str, options_fp: str) -> Path:
+        key = hashlib.sha256(
+            f"{CACHE_FORMAT}\n{digest}\n{options_fp}".encode()
+        ).hexdigest()
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    def _shape_path(self, shape: str, options_fp: str) -> Path:
+        key = hashlib.sha256(
+            f"{CACHE_FORMAT}\nshape\n{shape}\n{options_fp}".encode()
+        ).hexdigest()
+        return self.root / "shapes" / key[:2] / f"{key}.json"
+
+    # -- objects -------------------------------------------------------------
+
+    def get(self, digest: str, options_fp: str = "") -> CacheEntry | None:
+        """Look up a verdict by slice digest; None on miss or corruption."""
+        path = self._object_path(digest, options_fp)
+        payload = self._read_checked(path)
+        if payload is None:
+            self.misses += 1
+            return None
+        if (
+            payload.get("format") != CACHE_FORMAT
+            or payload.get("digest") != digest
+        ):
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        try:
+            result = result_from_obj(payload["result"])
+        except (ArtifactError, KeyError):
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return CacheEntry(
+            digest=digest, result=result, options_fp=options_fp
+        )
+
+    def put(
+        self,
+        digest: str,
+        result: CircResult,
+        options_fp: str = "",
+        shape: str | None = None,
+    ) -> None:
+        """Store a verdict; also refreshes the warm-start index.
+
+        UNKNOWN results are never stored as verdicts -- a repeat query
+        should retry (possibly warm-started), not be served a cached
+        give-up -- but the predicates discovered before the budget ran
+        out still feed the warm-start index.
+        """
+        if shape is not None and getattr(result, "predicates", ()):
+            self._put_shape(shape, options_fp, result.predicates)
+        if getattr(result, "unknown", False):
+            return
+        body = {
+            "format": CACHE_FORMAT,
+            "digest": digest,
+            "options_fp": options_fp,
+            "result": result_to_obj(result),
+        }
+        body["checksum"] = _payload_checksum(body["result"])
+        _atomic_write(
+            self._object_path(digest, options_fp),
+            json.dumps(body, sort_keys=True, indent=1),
+        )
+
+    # -- warm-start index ----------------------------------------------------
+
+    def _put_shape(
+        self, shape: str, options_fp: str, predicates: tuple[T.Term, ...]
+    ) -> None:
+        body = {
+            "format": CACHE_FORMAT,
+            "shape": shape,
+            "predicates": [term_to_obj(p) for p in predicates],
+        }
+        body["checksum"] = _payload_checksum(body["predicates"])
+        _atomic_write(
+            self._shape_path(shape, options_fp),
+            json.dumps(body, sort_keys=True, indent=1),
+        )
+
+    def seed_predicates(
+        self, shape: str, options_fp: str = ""
+    ) -> tuple[T.Term, ...]:
+        """Warm-start predicates for a slice shape; () when unknown."""
+        path = self._shape_path(shape, options_fp)
+        payload = self._read_checked(path, field="predicates")
+        if payload is None or payload.get("shape") != shape:
+            return ()
+        try:
+            return tuple(
+                term_from_obj(p) for p in payload["predicates"]
+            )
+        except (ArtifactError, KeyError):
+            self._quarantine(path)
+            return ()
+
+    # -- shared plumbing -----------------------------------------------------
+
+    def _read_checked(
+        self, path: Path, field: str = "result"
+    ) -> dict | None:
+        """Read + checksum-verify one cache file; None (and quarantine)
+        on any failure mode: missing, unreadable, undecodable, wrong
+        shape, checksum mismatch."""
+        try:
+            raw = path.read_text()
+        except OSError:
+            return None
+        try:
+            payload = json.loads(raw)
+        except ValueError:
+            self._quarantine(path)
+            return None
+        if not isinstance(payload, dict):
+            self._quarantine(path)
+            return None
+        if _payload_checksum(payload.get(field)) != payload.get("checksum"):
+            self._quarantine(path)
+            return None
+        return payload
+
+    def _quarantine(self, path: Path) -> None:
+        """Drop a corrupt entry so the slot recomputes and heals."""
+        self.corrupt += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+        }

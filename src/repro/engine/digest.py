@@ -1,0 +1,190 @@
+"""Content-addressed digests of verification problems.
+
+The cache key for a (program, variable) query is a SHA-256 digest of the
+*canonical rendering of the lowered CFA slice relevant to the variable*,
+in the style of the digest-keyed incremental abstract interpretation of
+Schwarz & Erhard (2025): reuse is keyed on the content actually analyzed,
+never on file names or timestamps.
+
+Slice definition
+----------------
+
+Starting from the race variable ``x``, the *relevant set* ``R`` is the
+least set of variables containing ``x`` that is closed under
+
+* **data flow**: if an edge assigns ``v := e`` with ``v`` in ``R``, all
+  variables of ``e`` are in ``R``;
+* **control flow**: all variables of every assume predicate are in ``R``
+  (guards shape reachability, which shapes everything -- this is the
+  conservative closure, never the minimal one).
+
+The slice keeps the *entire* CFA graph -- every location, edge, atomic
+mark, and error mark -- but replaces the operation of every edge that
+neither reads nor writes a variable of ``R`` by the canonical token
+``havoc``.  Such an operation is an identity on the ``R``-portion of the
+state and is not an access to ``x``, so two programs with identical
+slices have identical abstract semantics with respect to any predicate
+set over ``R`` and identical race conditions on ``x``: a cache hit is
+sound (see docs/ALGORITHM.md section 8 for the full argument).
+
+Canonical rendering
+-------------------
+
+Locations are renumbered densely in BFS order from the start location,
+visiting the out-edges of each location sorted by (operation text,
+original target); operations are rendered through the same normalization
+:mod:`repro.lang.unparse` uses for expressions, so formatting details of
+the original source (whitespace, redundant parentheses, statement sugar
+that lowers identically) never reach the digest.  The rendering also
+pins the initial values of the relevant globals, which are part of the
+verified semantics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..cfa.cfa import CFA, AssignOp, AssumeOp, Edge
+from ..lang.unparse import unparse_expr
+
+__all__ = [
+    "SliceView",
+    "relevant_variables",
+    "slice_view",
+    "slice_digest",
+    "shape_key",
+]
+
+#: Bump when the rendering format changes; keyed into every digest so
+#: stale cache entries from older layouts can never collide.
+DIGEST_SCHEMA = "circ-slice-v1"
+
+
+def _op_text(op) -> str:
+    """Render one CFA operation through the unparse normalization."""
+    if isinstance(op, AssignOp):
+        return f"{op.lhs} := {unparse_expr(op.rhs)}"
+    if isinstance(op, AssumeOp):
+        return f"[{unparse_expr(op.pred)}]"
+    raise TypeError(f"cannot render {op!r}")
+
+
+def relevant_variables(cfa: CFA, variable: str) -> frozenset[str]:
+    """The conservative relevant-variable closure for ``variable``."""
+    relevant: set[str] = {variable}
+    for e in cfa.edges:
+        if isinstance(e.op, AssumeOp):
+            relevant.update(e.op.reads())
+    changed = True
+    while changed:
+        changed = False
+        for e in cfa.edges:
+            if isinstance(e.op, AssignOp) and e.op.lhs in relevant:
+                new = e.op.reads() - relevant
+                if new:
+                    relevant.update(new)
+                    changed = True
+    return frozenset(relevant)
+
+
+@dataclass(frozen=True)
+class SliceView:
+    """The canonical rendering of a slice, plus its digest."""
+
+    variable: str
+    relevant: frozenset[str]
+    text: str
+    digest: str
+
+
+def _edge_line(e: Edge, relevant: frozenset[str]) -> str:
+    touched = e.op.reads() | e.op.writes()
+    if touched & relevant:
+        return _op_text(e.op)
+    return "havoc"
+
+
+def slice_view(cfa: CFA, variable: str) -> SliceView:
+    """Compute the canonical slice rendering and digest for a query."""
+    relevant = relevant_variables(cfa, variable)
+
+    # Deterministic BFS renumbering: out-edges ordered by rendered
+    # operation text, then original target.
+    edge_keys: dict[int, list[tuple[str, int, Edge]]] = {}
+    for e in cfa.edges:
+        edge_keys.setdefault(e.src, []).append(
+            (_edge_line(e, relevant), e.dst, e)
+        )
+    for lines in edge_keys.values():
+        lines.sort(key=lambda item: (item[0], item[1]))
+
+    order: list[int] = []
+    renum: dict[int, int] = {}
+    queue = [cfa.q0]
+    renum[cfa.q0] = 0
+    while queue:
+        q = queue.pop(0)
+        order.append(q)
+        for _, dst, _e in edge_keys.get(q, ()):
+            if dst not in renum:
+                renum[dst] = len(renum)
+                queue.append(dst)
+    # Locations unreachable from q0 (none after lowering's contraction,
+    # but possible for hand-built CFAs) are appended in sorted order so
+    # they still render deterministically.
+    for q in sorted(cfa.locations):
+        if q not in renum:
+            renum[q] = len(renum)
+            order.append(q)
+
+    lines = [
+        DIGEST_SCHEMA,
+        f"var {variable}",
+        "globals "
+        + " ".join(
+            f"{g}={cfa.global_init.get(g, 0)}"
+            for g in sorted(cfa.globals & relevant)
+        ),
+    ]
+    for q in order:
+        marks = ""
+        if q in cfa.atomic:
+            marks += "*"
+        if q in cfa.error_locations:
+            marks += "!"
+        lines.append(f"loc {renum[q]}{marks}")
+        for text, dst, _e in edge_keys.get(q, ()):
+            lines.append(f"  {text} -> {renum[dst]}")
+    rendering = "\n".join(lines)
+    digest = hashlib.sha256(rendering.encode()).hexdigest()
+    return SliceView(
+        variable=variable,
+        relevant=relevant,
+        text=rendering,
+        digest=digest,
+    )
+
+
+def slice_digest(cfa: CFA, variable: str) -> str:
+    """The content digest keying the artifact cache for this query."""
+    return slice_view(cfa, variable).digest
+
+
+def shape_key(cfa: CFA, variable: str) -> str:
+    """A coarse digest used for predicate warm-starting.
+
+    Keyed on the variable name and the multiset of rendered operations
+    that access it: two slices with the same shape usually need the same
+    synchronization predicates even when surrounding control flow
+    changed, so a shape hit seeds CIRC's predicate set from the cached
+    entry (warm start), cutting refinement iterations.  Shape hits never
+    bypass verification -- only the exact slice digest does.
+    """
+    ops = sorted(
+        _op_text(e.op)
+        for e in cfa.edges
+        if variable in (e.op.reads() | e.op.writes())
+    )
+    payload = "\n".join([DIGEST_SCHEMA, "shape", variable, *ops])
+    return hashlib.sha256(payload.encode()).hexdigest()

@@ -1,0 +1,172 @@
+"""The batch verification engine: planner -> scheduler -> cache.
+
+``run_batch`` is the bulk entry point (the ``repro-race batch``
+subcommand, the redundancy auditor, and ``bench_engine.py`` all sit on
+it); ``verify_one`` serves single queries, giving ``check_race`` a
+cache-accelerated in-process path with the same digest keying.
+
+A batch run:
+
+1. plans a job per must-check variable, discharging variables the
+   static lattice proves safe without spawning any work;
+2. answers byte-identical slices from the content-addressed cache and
+   warm-starts near-matches from the shape index;
+3. fans the remaining jobs out over a worker pool with budgets and
+   crash recovery, falling back to in-process serial execution;
+4. emits JSONL telemetry throughout and returns a :class:`BatchReport`
+   whose rows are ordered exactly like the input queries.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..cfa.cfa import CFA
+from ..circ.circ import CircBudgetExceeded, circ
+from ..circ.result import CircResult
+from .cache import ArtifactCache
+from .digest import shape_key, slice_digest
+from .events import EventLog
+from .planner import BatchItem, JobResult, options_fingerprint, plan
+from .scheduler import execute
+
+__all__ = ["BatchReport", "run_batch", "verify_one"]
+
+
+@dataclass
+class BatchReport:
+    """The outcome of one engine run."""
+
+    rows: list[JobResult] = field(default_factory=list)
+    wall_ms: float = 0.0
+    n_jobs: int = 0
+    n_static: int = 0
+    n_deduped: int = 0
+    cache_stats: dict = field(default_factory=dict)
+
+    @property
+    def races(self) -> list[JobResult]:
+        return [r for r in self.rows if r.verdict == "race"]
+
+    @property
+    def unknown(self) -> list[JobResult]:
+        return [r for r in self.rows if r.verdict == "unknown"]
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of planned jobs answered by the cache."""
+        hits = self.cache_stats.get("hits", 0)
+        misses = self.cache_stats.get("misses", 0)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+
+def run_batch(
+    items: Sequence[BatchItem],
+    cache_dir: str | None = None,
+    workers: int | None = None,
+    events: EventLog | str | None = None,
+    prefilter: bool = True,
+    warm_start: bool = True,
+    _test_kill_first_attempt: bool = False,
+    **circ_options,
+) -> BatchReport:
+    """Verify every (model, variable) query of ``items``.
+
+    ``cache_dir=None`` disables persistence (every job computes);
+    ``events`` may be an :class:`EventLog` or a path for JSONL output.
+    Keyword options are forwarded to :func:`repro.circ.circ` and are
+    part of the cache key.
+    """
+    start = time.perf_counter()
+    if isinstance(events, str):
+        events = EventLog(events)
+    events = events or EventLog()
+    cache = ArtifactCache(cache_dir) if cache_dir is not None else None
+
+    events.emit("batch_started", items=len(items))
+    the_plan = plan(
+        items, options=circ_options, events=events, prefilter=prefilter
+    )
+    results = execute(
+        the_plan.jobs,
+        cache=cache,
+        events=events,
+        workers=workers,
+        warm_start=warm_start,
+        _test_kill_first_attempt=_test_kill_first_attempt,
+    )
+
+    by_query = {(r.model, r.variable): r for r in the_plan.done}
+    by_query.update(results)
+    rows = [by_query[key] for key in the_plan.order]
+
+    n_deduped = sum(len(j.aliases) - 1 for j in the_plan.jobs)
+    report = BatchReport(
+        rows=rows,
+        wall_ms=(time.perf_counter() - start) * 1000.0,
+        n_jobs=len(the_plan.jobs),
+        n_static=len(the_plan.done),
+        n_deduped=n_deduped,
+        cache_stats=cache.stats() if cache is not None else {},
+    )
+    events.emit(
+        "batch_summary",
+        rows=len(report.rows),
+        jobs=report.n_jobs,
+        static=report.n_static,
+        deduped=report.n_deduped,
+        races=len(report.races),
+        unknown=len(report.unknown),
+        wall_ms=round(report.wall_ms, 3),
+        **{f"cache_{k}": v for k, v in report.cache_stats.items()},
+    )
+    events.close()
+    return report
+
+
+def verify_one(
+    cfa: CFA,
+    variable: str,
+    cache_dir: str | None = None,
+    warm_start: bool = True,
+    events: EventLog | None = None,
+    **circ_options,
+) -> CircResult:
+    """Cache-accelerated single-query verification (in-process).
+
+    The digest machinery works directly on the lowered CFA, so callers
+    holding only a CFA (no source text) still get content-addressed
+    reuse; parallelism is pointless for one query, so the scheduler is
+    bypassed.  Budget exhaustion surfaces as a returned
+    :class:`~repro.circ.result.CircUnknown`, mirroring the batch path.
+    """
+    events = events or EventLog()
+    cache = ArtifactCache(cache_dir) if cache_dir is not None else None
+    fp = options_fingerprint(circ_options)
+    digest = slice_digest(cfa, variable)
+    if cache is not None:
+        entry = cache.get(digest, fp)
+        if entry is not None:
+            events.emit("cache_hit", digest=digest[:12])
+            return entry.result
+        events.emit("cache_miss", digest=digest[:12])
+
+    options = dict(circ_options)
+    shape = shape_key(cfa, variable)
+    if cache is not None and warm_start:
+        seeds = cache.seed_predicates(shape, fp)
+        if seeds:
+            events.emit("warm_start", n_predicates=len(seeds))
+            existing = tuple(options.pop("initial_predicates", ()))
+            options["initial_predicates"] = existing + seeds
+
+    try:
+        result: CircResult = circ(cfa, race_on=variable, **options)
+    except CircBudgetExceeded as exc:
+        result = exc.result
+    if cache is not None:
+        cache.put(digest, result, fp, shape=shape)
+    return result

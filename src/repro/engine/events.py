@@ -1,0 +1,67 @@
+"""Structured JSONL telemetry for the batch engine.
+
+Every engine run emits a stream of flat JSON events -- job lifecycle,
+cache hits and misses, warm starts, worker failures, and the final batch
+summary -- so external tooling (dashboards, CI assertions, the bundled
+``bench_engine.py``) can consume engine behavior without parsing the
+human-readable table.  Events carry a monotonic ``t`` offset in seconds
+from the log's creation rather than wall-clock timestamps, which keeps
+logs deterministic enough to diff across runs.
+
+The log is thread-safe; with ``path=None`` events are only collected in
+memory (``log.events``), which the tests use.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, IO
+
+__all__ = ["EventLog"]
+
+
+class EventLog:
+    """An append-only JSONL event sink."""
+
+    def __init__(self, path: str | None = None):
+        self.path = path
+        self.events: list[dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self._t0 = time.perf_counter()
+        self._fh: IO[str] | None = None
+        if path is not None:
+            Path(path).parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(path, "a")
+
+    def emit(self, kind: str, **fields: Any) -> dict[str, Any]:
+        """Record one event; returns the event dict."""
+        event = {
+            "event": kind,
+            "t": round(time.perf_counter() - self._t0, 6),
+            **fields,
+        }
+        with self._lock:
+            self.events.append(event)
+            if self._fh is not None:
+                self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+                self._fh.flush()
+        return event
+
+    def of_kind(self, kind: str) -> list[dict[str, Any]]:
+        with self._lock:
+            return [e for e in self.events if e["event"] == kind]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,276 @@
+"""Job execution: worker pool, budgets, crash recovery, serial fallback.
+
+The scheduler takes the planner's deduplicated worklist and resolves
+every job through a three-level strategy:
+
+1. **cache** -- the artifact cache answers byte-identical slices
+   immediately (and seeds predicates for near-matches via the shape
+   index);
+2. **parallel** -- remaining jobs fan out over a ``multiprocessing``
+   worker pool; each worker runs CIRC under the job's iteration and
+   wall-clock budgets, so a divergent refinement sequence degrades to a
+   clean ``UNKNOWN`` instead of wedging a worker forever;
+3. **serial fallback** -- pool creation failure, a worker killed
+   mid-job (``BrokenProcessPool``), or an unpicklable payload all
+   degrade to in-process execution of the affected jobs, so a batch
+   always completes with a full verdict table.
+
+Workers communicate results as JSON-ready artifact objects (see
+:mod:`repro.engine.artifacts`) rather than pickled verifier internals:
+transport stays robust to class-layout drift between engine versions.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Sequence
+
+from ..circ.circ import CircBudgetExceeded, CircError, circ
+from ..circ.result import CircStats, CircUnknown
+from ..lang.lower import lower_source
+from .artifacts import result_from_obj, result_to_obj, term_from_obj, term_to_obj
+from .cache import ArtifactCache
+from .events import EventLog
+from .planner import Job, JobResult, _verdict_of, options_fingerprint
+
+__all__ = ["execute"]
+
+
+def _run_job_payload(payload: dict) -> dict:
+    """Execute one verification job (runs inside a worker process or,
+    on fallback, in-process).  Pure function of its payload; returns a
+    JSON-ready result record and never raises."""
+    if payload.get("_test_kill_worker"):
+        import multiprocessing
+
+        if multiprocessing.parent_process() is not None:
+            os._exit(137)  # simulate a crashed/OOM-killed worker
+    start = time.perf_counter()
+    variable = payload["variable"]
+    try:
+        cfa = lower_source(payload["source"], payload["thread"])
+        options = dict(payload["options"])
+        seeds = tuple(
+            term_from_obj(p) for p in payload.get("seed_predicates", ())
+        )
+        if seeds:
+            existing = tuple(options.pop("initial_predicates", ()))
+            options["initial_predicates"] = existing + seeds
+        result = circ(cfa, race_on=variable, **options)
+    except CircBudgetExceeded as exc:
+        result = exc.result
+    except CircError as exc:
+        result = CircUnknown(
+            variable=variable,
+            reason=str(exc),
+            predicates=(),
+            stats=CircStats(),
+        )
+    except Exception as exc:  # a verifier bug must not sink the batch
+        result = CircUnknown(
+            variable=variable,
+            reason=f"internal error: {type(exc).__name__}: {exc}",
+            predicates=(),
+            stats=CircStats(),
+        )
+    return {
+        "job_id": payload["job_id"],
+        "result": result_to_obj(result),
+        "warm": bool(payload.get("seed_predicates")),
+        "elapsed_ms": (time.perf_counter() - start) * 1000.0,
+    }
+
+
+def _job_payload(job: Job, seeds: tuple, test_kill: bool = False) -> dict:
+    payload = {
+        "job_id": job.job_id,
+        "source": job.source,
+        "thread": job.thread,
+        "variable": job.variable,
+        "options": dict(job.options),
+        "seed_predicates": [term_to_obj(p) for p in seeds],
+    }
+    if test_kill:
+        payload["_test_kill_worker"] = True
+    return payload
+
+
+def _fan_out(
+    job: Job,
+    record: dict,
+    source: str,
+    results: dict[tuple[str, str], JobResult],
+) -> None:
+    """Translate one job record into a JobResult per (model, variable)."""
+    result = result_from_obj(record["result"])
+    for model, variable in job.aliases:
+        results[(model, variable)] = JobResult(
+            model=model,
+            variable=variable,
+            verdict=_verdict_of(result),
+            source=source,
+            time_ms=record["elapsed_ms"],
+            detail=getattr(result, "reason", ""),
+            result=result,
+            digest=job.digest,
+        )
+
+
+def _finish(
+    job: Job,
+    record: dict,
+    events: EventLog,
+    cache: ArtifactCache | None,
+    results: dict[tuple[str, str], JobResult],
+) -> None:
+    """Cache, log, and fan out one computed job record."""
+    result = result_from_obj(record["result"])
+    source = "circ-warm" if record.get("warm") else "circ"
+    if cache is not None:
+        cache.put(
+            job.digest,
+            result,
+            options_fingerprint(job.options),
+            shape=job.shape,
+        )
+    events.emit(
+        "job_finished",
+        job_id=job.job_id,
+        verdict=_verdict_of(result),
+        warm=bool(record.get("warm")),
+        elapsed_ms=round(record["elapsed_ms"], 3),
+        iterations=result.stats.inner_iterations,
+    )
+    _fan_out(job, record, source, results)
+
+
+def _run_pool(
+    pending: dict[int, tuple[Job, dict]],
+    workers: int,
+    events: EventLog,
+) -> list[tuple[Job, dict]]:
+    """Drain as much of ``pending`` as possible through a process pool.
+
+    Returns the (job, record) pairs the pool completed, removing them
+    from ``pending``; jobs whose worker crashed or whose submission
+    failed stay in ``pending`` for the caller's serial pass.
+    """
+    completed: list[tuple[Job, dict]] = []
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+    except ImportError:  # multiprocessing unavailable on this platform
+        events.emit("pool_unavailable", reason="no concurrent.futures")
+        return completed
+    try:
+        executor = ProcessPoolExecutor(max_workers=workers)
+    except (OSError, ValueError, RuntimeError) as exc:
+        events.emit("pool_unavailable", reason=str(exc))
+        return completed
+
+    events.emit("pool_started", workers=workers, jobs=len(pending))
+    try:
+        futures = {}
+        for job_id, (job, payload) in pending.items():
+            events.emit("job_started", job_id=job.job_id, mode="pool")
+            try:
+                futures[executor.submit(_run_job_payload, payload)] = job
+            except Exception as exc:  # submission/pickling failure
+                events.emit(
+                    "worker_failed", job_id=job.job_id, reason=str(exc)
+                )
+        for future, job in futures.items():
+            try:
+                record = future.result()
+            except BrokenProcessPool:
+                events.emit(
+                    "worker_failed",
+                    job_id=job.job_id,
+                    reason="worker process died; retrying serially",
+                )
+                continue
+            except Exception as exc:
+                events.emit(
+                    "worker_failed", job_id=job.job_id, reason=str(exc)
+                )
+                continue
+            completed.append((job, record))
+            del pending[job.job_id]
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    return completed
+
+
+def execute(
+    jobs: Sequence[Job],
+    cache: ArtifactCache | None = None,
+    events: EventLog | None = None,
+    workers: int | None = None,
+    warm_start: bool = True,
+    _test_kill_first_attempt: bool = False,
+) -> dict[tuple[str, str], JobResult]:
+    """Run a worklist to completion; returns results per (model, variable).
+
+    ``workers=None`` picks ``os.cpu_count()`` capped by the worklist
+    size; ``workers<=1`` runs everything in-process.  The private
+    ``_test_kill_first_attempt`` knob makes pool workers die on their
+    first attempt, exercising the crash-recovery path in tests.
+    """
+    events = events or EventLog()
+    results: dict[tuple[str, str], JobResult] = {}
+    pending: dict[int, tuple[Job, dict]] = {}
+
+    for job in jobs:
+        fp = options_fingerprint(job.options)
+        entry = cache.get(job.digest, fp) if cache is not None else None
+        if entry is not None:
+            events.emit(
+                "cache_hit",
+                job_id=job.job_id,
+                digest=job.digest[:12],
+                verdict=_verdict_of(entry.result),
+            )
+            _fan_out(
+                job,
+                {"result": result_to_obj(entry.result), "elapsed_ms": 0.0},
+                "cache",
+                results,
+            )
+            continue
+        events.emit("cache_miss", job_id=job.job_id, digest=job.digest[:12])
+        seeds: tuple = ()
+        if cache is not None and warm_start:
+            seeds = cache.seed_predicates(job.shape, fp)
+            if seeds:
+                events.emit(
+                    "warm_start",
+                    job_id=job.job_id,
+                    n_predicates=len(seeds),
+                )
+        pending[job.job_id] = (
+            job,
+            _job_payload(job, seeds, _test_kill_first_attempt),
+        )
+
+    if not pending:
+        return results
+
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = max(1, min(workers, len(pending)))
+
+    if workers > 1:
+        for job, record in _run_pool(pending, workers, events):
+            _finish(job, record, events, cache, results)
+
+    # Serial pass: everything never attempted, plus everything whose
+    # worker died.  In-process execution cannot lose a job.
+    for job, payload in list(pending.values()):
+        payload.pop("_test_kill_worker", None)
+        events.emit("job_started", job_id=job.job_id, mode="serial")
+        record = _run_job_payload(payload)
+        _finish(job, record, events, cache, results)
+        del pending[job.job_id]
+
+    return results

@@ -124,11 +124,140 @@ def _strip(
     return stmt
 
 
+def _variant_program(
+    program: A.Program,
+    tdef: A.ThreadDef,
+    drop_atomic: Optional[A.Atomic],
+    drop_mutex: Optional[str],
+) -> A.Program:
+    """The whole program with one synchronization construct removed."""
+    stripped_threads = tuple(
+        A.ThreadDef(
+            t.name,
+            _strip(t.body, drop_atomic, drop_mutex),
+            t.line,
+        )
+        if t.name == tdef.name
+        else t
+        for t in program.threads
+    )
+    stripped_functions = tuple(
+        A.Function(
+            f.name,
+            f.params,
+            f.returns_value,
+            _strip(f.body, drop_atomic, drop_mutex),
+            f.line,
+        )
+        for f in program.functions
+    )
+    return A.Program(program.globals, stripped_functions, stripped_threads)
+
+
+def _sync_sites(tdef: A.ThreadDef) -> list[tuple[SyncSite, object, object]]:
+    """Every synchronization site with its (drop_atomic, drop_mutex) key."""
+    sites: list[tuple[SyncSite, object, object]] = []
+    for i, atomic in enumerate(_atomic_sites(tdef)):
+        sites.append((SyncSite("atomic", str(atomic.line), i), atomic, None))
+    for i, mutex in enumerate(_mutexes(tdef)):
+        sites.append((SyncSite("lock", mutex, i), None, mutex))
+    return sites
+
+
+def _find_redundant_engine(
+    program: A.Program,
+    tdef: A.ThreadDef,
+    variable: str,
+    use_prefilter: bool,
+    cache_dir: str | None,
+    workers: int | None,
+    circ_options: dict,
+) -> list[RedundancyFinding]:
+    """Engine-backed redundancy audit: one batch over every variant.
+
+    The baseline and all stripped variants go through a single
+    :func:`repro.engine.run_batch` call, so variants whose slices for
+    ``variable`` are byte-identical (removals that never touch its
+    accesses) deduplicate to one CIRC run, and repeat audits answer
+    from the artifact cache.
+    """
+    from ..engine import BatchItem, run_batch
+    from ..lang.unparse import unparse
+
+    sites = _sync_sites(tdef)
+    items = [
+        BatchItem(
+            model="baseline",
+            source=unparse(program),
+            thread=tdef.name,
+            variables=(variable,),
+        )
+    ]
+    for n, (_, drop_atomic, drop_mutex) in enumerate(sites):
+        variant = _variant_program(program, tdef, drop_atomic, drop_mutex)
+        items.append(
+            BatchItem(
+                model=f"variant-{n}",
+                source=unparse(variant),
+                thread=tdef.name,
+                variables=(variable,),
+            )
+        )
+
+    report = run_batch(
+        items,
+        cache_dir=cache_dir,
+        workers=workers,
+        prefilter=use_prefilter,
+        **circ_options,
+    )
+    by_model = {row.model: row for row in report.rows}
+
+    baseline = by_model["baseline"]
+    if baseline.verdict != "safe":
+        raise ValueError(
+            f"the program already races on {variable!r}; "
+            "redundancy analysis needs a race-free baseline"
+            if baseline.verdict == "race"
+            else f"baseline verification undecided: {baseline.detail}"
+        )
+
+    findings: list[RedundancyFinding] = []
+    for n, (site, _, _) in enumerate(sites):
+        row = by_model[f"variant-{n}"]
+        if row.verdict == "safe":
+            detail = (
+                f"statically safe without it ({row.detail}; "
+                "no CIRC run needed)"
+                if row.source == "static"
+                else "program remains race-free without it"
+            )
+            findings.append(RedundancyFinding(site, True, detail))
+        elif row.verdict == "race":
+            n_threads = getattr(row.result, "n_threads", 0)
+            findings.append(
+                RedundancyFinding(
+                    site,
+                    False,
+                    f"removal introduces a race "
+                    f"({n_threads}-thread witness)",
+                )
+            )
+        else:
+            findings.append(
+                RedundancyFinding(site, False, f"undecided: {row.detail}")
+            )
+    return findings
+
+
 def find_redundant_sync(
     source: str,
     variable: str,
     thread: str | None = None,
     use_prefilter: bool = True,
+    engine: bool = False,
+    cache_dir: str | None = None,
+    workers: int | None = None,
     **circ_options,
 ) -> list[RedundancyFinding]:
     """Which synchronization constructs are unnecessary for race freedom
@@ -143,11 +272,29 @@ def find_redundant_sync(
     remaining synchronization alone discharges it -- the site is reported
     redundant without re-running CIRC.  Only removals that leave the
     variable ``must-check`` pay for a full verification.
+
+    With ``engine=True`` the baseline and every stripped variant are
+    submitted as one batch to the verification engine
+    (:mod:`repro.engine`): variants whose relevant slices coincide are
+    verified once, verdicts persist in the artifact cache under
+    ``cache_dir``, and independent variants run in parallel over
+    ``workers`` processes.
     """
     from ..static.classify import classify
 
     program = parse_program(source)
     tdef = program.thread(thread)
+
+    if engine:
+        return _find_redundant_engine(
+            program,
+            tdef,
+            variable,
+            use_prefilter,
+            cache_dir,
+            workers,
+            circ_options,
+        )
 
     def static_verdict(cfa):
         if not use_prefilter or variable not in cfa.globals:
@@ -167,29 +314,7 @@ def find_redundant_sync(
     findings: list[RedundancyFinding] = []
 
     def check_variant(site: SyncSite, drop_atomic, drop_mutex) -> None:
-        stripped_threads = tuple(
-            A.ThreadDef(
-                t.name,
-                _strip(t.body, drop_atomic, drop_mutex),
-                t.line,
-            )
-            if t.name == tdef.name
-            else t
-            for t in program.threads
-        )
-        stripped_functions = tuple(
-            A.Function(
-                f.name,
-                f.params,
-                f.returns_value,
-                _strip(f.body, drop_atomic, drop_mutex),
-                f.line,
-            )
-            for f in program.functions
-        )
-        variant = A.Program(
-            program.globals, stripped_functions, stripped_threads
-        )
+        variant = _variant_program(program, tdef, drop_atomic, drop_mutex)
         variant_cfa = lower_thread(variant, tdef.name)
         vv = static_verdict(variant_cfa)
         if vv is not None:
@@ -231,10 +356,6 @@ def find_redundant_sync(
                 )
             )
 
-    for i, atomic in enumerate(_atomic_sites(tdef)):
-        site = SyncSite("atomic", str(atomic.line), i)
-        check_variant(site, atomic, None)
-    for i, mutex in enumerate(_mutexes(tdef)):
-        site = SyncSite("lock", mutex, i)
-        check_variant(site, None, mutex)
+    for site, drop_atomic, drop_mutex in _sync_sites(tdef):
+        check_variant(site, drop_atomic, drop_mutex)
     return findings

@@ -20,7 +20,115 @@ from ..circ.result import CircSafe, CircUnsafe
 from ..smt.terms import pretty
 from .spec import racy_variables
 
-__all__ = ["VariableAudit", "AuditReport", "audit", "render_markdown"]
+__all__ = [
+    "VariableAudit",
+    "AuditReport",
+    "audit",
+    "render_markdown",
+    "ReportRow",
+    "REPORT_SCHEMA",
+    "rows_to_payload",
+    "render_rows_table",
+    "rows_from_static",
+    "rows_from_batch",
+]
+
+#: Version tag of the machine-readable row schema shared by
+#: ``repro-race static --json`` and ``repro-race batch --json``.
+REPORT_SCHEMA = "repro-race/report-v1"
+
+
+@dataclass(frozen=True)
+class ReportRow:
+    """One row of the shared machine-readable report schema.
+
+    Every JSON-emitting subcommand reports per-query outcomes in this
+    exact shape so downstream tooling parses one format:
+
+    * ``model`` -- program/model name the query belongs to;
+    * ``variable`` -- the shared variable checked;
+    * ``verdict`` -- ``safe`` | ``race`` | ``unknown``;
+    * ``source`` -- which layer produced the verdict (``static``,
+      ``cache``, ``circ``, ``circ-warm``);
+    * ``time_ms`` -- wall-clock spent on this query, milliseconds.
+    """
+
+    model: str
+    variable: str
+    verdict: str
+    source: str
+    time_ms: float
+    detail: str = ""
+
+    def to_obj(self) -> dict:
+        return {
+            "model": self.model,
+            "variable": self.variable,
+            "verdict": self.verdict,
+            "source": self.source,
+            "time_ms": round(self.time_ms, 3),
+            "detail": self.detail,
+        }
+
+
+def rows_to_payload(rows, **extra) -> dict:
+    """The canonical JSON payload wrapping shared-schema rows."""
+    payload = {
+        "schema": REPORT_SCHEMA,
+        "rows": [r.to_obj() for r in rows],
+    }
+    payload.update(extra)
+    return payload
+
+
+def render_rows_table(rows) -> str:
+    """A fixed-width text table over shared-schema rows."""
+    header = f"{'model':24s} {'variable':16s} {'verdict':8s} {'source':10s} {'time':>9s}"
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.model:24s} {r.variable:16s} {r.verdict:8s} "
+            f"{r.source:10s} {r.time_ms:8.1f}ms"
+        )
+    return "\n".join(lines)
+
+
+def rows_from_static(report, model: str) -> list[ReportRow]:
+    """Shared-schema rows for a static pre-analysis report.
+
+    Prunable verdicts are sound safety proofs (``safe`` / ``static``);
+    ``must-check`` means the pre-analysis alone cannot decide, which in
+    this schema is exactly an ``unknown`` verdict from the ``static``
+    source.
+    """
+    rows = []
+    for name, vv in sorted(report.verdicts.items()):
+        rows.append(
+            ReportRow(
+                model=model,
+                variable=name,
+                verdict="safe" if vv.prunable else "unknown",
+                source="static",
+                time_ms=0.0,
+                detail=f"{vv.verdict.value}: {vv.reason}",
+            )
+        )
+    return rows
+
+
+def rows_from_batch(report) -> list[ReportRow]:
+    """Shared-schema rows for an engine :class:`~repro.engine.BatchReport`."""
+    return [
+        ReportRow(
+            model=r.model,
+            variable=r.variable,
+            verdict=r.verdict,
+            source=r.source,
+            time_ms=r.time_ms,
+            detail=r.detail,
+        )
+        for r in report.rows
+    ]
 
 
 @dataclass

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 
 from ..cfa.cfa import CFA
-from ..circ.circ import circ
+from ..circ.circ import CircBudgetExceeded, circ
 from ..circ.result import CircResult
 from ..exec.interp import ExploreResult, MultiProgram, explore
 from ..lang.lower import lower_source
@@ -55,6 +55,8 @@ def check_race(
     variable: str,
     thread: str | None = None,
     prefilter: bool = False,
+    engine: bool = False,
+    cache_dir: str | None = None,
     **circ_options,
 ) -> CircResult:
     """Prove or refute race freedom on ``variable`` for unboundedly many
@@ -71,15 +73,40 @@ def check_race(
     CIRC at all.  The verdict is unchanged either way -- the pre-analysis
     only prunes variables it can prove safe -- but pruned variables skip
     the whole CEGAR loop.
+
+    With ``engine=True`` the query routes through the verification
+    engine (:mod:`repro.engine`): the content-addressed artifact cache
+    under ``cache_dir`` answers repeat queries for byte-identical slices
+    instantly and warm-starts near-matches from cached predicates.  The
+    verdict is unchanged (a cache hit implies an identical lowered
+    slice); budget exhaustion (``max_iterations``/``timeout_s``)
+    surfaces as a :class:`~repro.circ.result.CircUnknown` instead of an
+    exception on both paths.
     """
     cfa = _as_cfa(program, thread)
     if variable not in cfa.globals:
         raise ValueError(f"{variable!r} is not a global of the program")
+    if engine:
+        from ..engine import verify_one
+        from ..static.prefilter import prefilter_check
+
+        if prefilter:
+            from ..static.classify import classify
+
+            vv = classify(cfa, [variable]).verdict(variable)
+            if vv.prunable:
+                return prefilter_check(cfa, variable)
+        return verify_one(
+            cfa, variable, cache_dir=cache_dir, **circ_options
+        )
     if prefilter:
         from ..static.prefilter import prefilter_check
 
         return prefilter_check(cfa, variable, **circ_options)
-    return circ(cfa, race_on=variable, **circ_options)
+    try:
+        return circ(cfa, race_on=variable, **circ_options)
+    except CircBudgetExceeded as exc:
+        return exc.result
 
 
 def check_race_bounded(

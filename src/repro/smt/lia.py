@@ -304,21 +304,29 @@ def _solve(constraints: list[LinLe | LinEq], depth: int) -> LiaResult:
     floor_branch = list(constraints) + [
         LinLe(LinExpr({frac_var: Fraction(1)}, -math.floor(v)))
     ]
-    res = _solve(floor_branch, depth + 1)
-    if res.is_sat:
-        return res
+    res_floor = _solve(floor_branch, depth + 1)
+    if res_floor.is_sat:
+        return res_floor
     ceil_branch = list(constraints) + [
         LinLe(LinExpr({frac_var: Fraction(-1)}, math.ceil(v)))
     ]
-    res = _solve(ceil_branch, depth + 1)
-    if res.is_sat:
-        return res
-    # Both integer branches refuted: unsat over Z.  The cores may mention the
+    res_ceil = _solve(ceil_branch, depth + 1)
+    if res_ceil.is_sat:
+        return res_ceil
+    # Both integer branches refuted: unsat over Z.  Any integer value of
+    # frac_var satisfies one of the two branch constraints, so the
+    # contradiction needs the *union* of both branch cores (using a single
+    # branch's core would be unsound: that branch alone may be satisfiable
+    # once its synthetic bound is dropped).  The cores may mention the
     # synthetic branching constraints (indices >= len(constraints)); strip
     # them -- the contradiction still only depends on original constraints
     # plus integrality.
     n = len(constraints)
-    core = frozenset(i for i in (res.core or ()) if i < n)
+    core = frozenset(
+        i
+        for i in (res_floor.core or frozenset()) | (res_ceil.core or frozenset())
+        if i < n
+    )
     return LiaResult("unsat", core=core, farkas=None, all_equalities=False)
 
 

@@ -87,6 +87,13 @@ class Term:
             return result
         return not result
 
+    def __reduce__(self):
+        # The default slot-based pickling calls setattr on the restored
+        # object, which trips the immutability guard.  Every leaf class
+        # takes exactly its key() payload (minus the tag) as constructor
+        # arguments, so rebuild through the constructor instead.
+        return (type(self), self.key()[1:])
+
     def __repr__(self) -> str:
         return pretty(self)
 

@@ -1,0 +1,62 @@
+"""Explicit resource budgets: CircBudgetExceeded and UNKNOWN verdicts."""
+
+import pytest
+
+from repro.circ import CircBudgetExceeded, circ
+from repro.circ.result import CircUnknown
+from repro.lang.lower import lower_source
+from repro.races.spec import check_race
+
+TAS = """
+global int x, state;
+thread main {
+  local int old;
+  while (1) {
+    atomic { old = state; if (state == 0) { state = 1; } }
+    if (old == 0) { x = x + 1; state = 0; }
+  }
+}
+"""
+
+
+def test_iteration_budget_raises_typed_error():
+    cfa = lower_source(TAS)
+    with pytest.raises(CircBudgetExceeded) as exc_info:
+        circ(cfa, race_on="x", max_iterations=1)
+    result = exc_info.value.result
+    assert isinstance(result, CircUnknown)
+    assert result.unknown and not result.safe
+    assert "budget" in result.reason
+    assert result.variable == "x"
+
+
+def test_timeout_budget_raises_typed_error():
+    cfa = lower_source(TAS)
+    with pytest.raises(CircBudgetExceeded) as exc_info:
+        circ(cfa, race_on="x", timeout_s=0.0)
+    assert exc_info.value.result.unknown
+
+
+def test_budget_carries_partial_stats():
+    cfa = lower_source(TAS)
+    with pytest.raises(CircBudgetExceeded) as exc_info:
+        circ(cfa, race_on="x", max_iterations=2)
+    stats = exc_info.value.result.stats
+    assert stats.inner_iterations <= 2
+
+
+def test_generous_budget_does_not_trigger():
+    cfa = lower_source(TAS)
+    result = circ(cfa, race_on="x", max_iterations=10_000, timeout_s=600.0)
+    assert result.safe
+
+
+def test_check_race_returns_unknown_instead_of_raising():
+    result = check_race(TAS, "x", max_iterations=1)
+    assert isinstance(result, CircUnknown)
+    assert result.unknown
+
+
+def test_check_race_engine_path_returns_unknown():
+    result = check_race(TAS, "x", engine=True, max_iterations=1)
+    assert isinstance(result, CircUnknown)

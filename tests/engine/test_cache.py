@@ -1,0 +1,123 @@
+"""Artifact cache behavior: hits, misses, corruption recovery."""
+
+import json
+
+from repro.circ.result import CircSafe, CircStats, CircUnsafe
+from repro.acfa.acfa import empty_acfa
+from repro.engine.artifacts import (
+    result_from_obj,
+    result_to_obj,
+    term_from_obj,
+    term_to_obj,
+)
+from repro.engine.cache import ArtifactCache
+from repro.smt import terms as T
+
+
+def safe_result(var="x", preds=()):
+    return CircSafe(
+        variable=var,
+        predicates=tuple(preds),
+        context=empty_acfa(),
+        stats=CircStats(),
+    )
+
+
+PRED = T.Cmp("==", T.Var("state"), T.IntConst(1))
+
+
+def test_hit_on_identical_digest(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.put("d1", safe_result(preds=(PRED,)), "fp")
+    entry = cache.get("d1", "fp")
+    assert entry is not None
+    assert entry.result.safe
+    assert entry.result.predicates == (PRED,)
+    assert cache.stats() == {"hits": 1, "misses": 0, "corrupt": 0}
+
+
+def test_miss_on_different_digest_or_options(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.put("d1", safe_result(), "fp")
+    assert cache.get("d2", "fp") is None
+    assert cache.get("d1", "other-fp") is None
+    assert cache.stats()["misses"] == 2
+
+
+def test_corrupted_entry_is_a_miss_and_heals(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.put("d1", safe_result(), "fp")
+    (obj_file,) = (tmp_path / "objects").rglob("*.json")
+    obj_file.write_text("{ this is not json")
+    assert cache.get("d1", "fp") is None
+    assert cache.stats()["corrupt"] == 1
+    assert not obj_file.exists()  # quarantined
+    # The slot heals on the next store.
+    cache.put("d1", safe_result(), "fp")
+    assert cache.get("d1", "fp") is not None
+
+
+def test_checksum_mismatch_is_a_miss(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.put("d1", safe_result(preds=(PRED,)), "fp")
+    (obj_file,) = (tmp_path / "objects").rglob("*.json")
+    payload = json.loads(obj_file.read_text())
+    payload["result"]["predicates"] = []  # tamper without fixing checksum
+    obj_file.write_text(json.dumps(payload))
+    assert cache.get("d1", "fp") is None
+    assert cache.stats()["corrupt"] == 1
+
+
+def test_shape_index_seeds_predicates(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.put("d1", safe_result(preds=(PRED,)), "fp", shape="s1")
+    assert cache.seed_predicates("s1", "fp") == (PRED,)
+    assert cache.seed_predicates("s2", "fp") == ()
+    assert cache.seed_predicates("s1", "other-fp") == ()
+
+
+def test_corrupt_shape_entry_returns_no_seeds(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.put("d1", safe_result(preds=(PRED,)), "fp", shape="s1")
+    (shape_file,) = (tmp_path / "shapes").rglob("*.json")
+    shape_file.write_text("garbage")
+    assert cache.seed_predicates("s1", "fp") == ()
+    assert not shape_file.exists()
+
+
+def test_unsafe_result_round_trips(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    unsafe = CircUnsafe(
+        variable="x",
+        steps=[],
+        n_threads=2,
+        predicates=(),
+        stats=CircStats(),
+    )
+    cache.put("d1", unsafe, "fp")
+    entry = cache.get("d1", "fp")
+    assert entry is not None
+    assert not entry.result.safe
+    assert entry.result.n_threads == 2
+
+
+def test_term_serialization_round_trips():
+    terms = [
+        T.Var("x"),
+        T.IntConst(-3),
+        T.BoolConst(True),
+        T.And((T.Cmp("<=", T.Var("x"), T.IntConst(0)), T.BoolConst(False))),
+        T.Implies(
+            T.Not(T.Cmp("==", T.Var("s"), T.IntConst(1))),
+            T.Or((T.Var("p"), T.Var("q"))),
+        ),
+        T.Add((T.Mul(T.IntConst(2), T.Var("y")), T.Neg(T.Var("z")))),
+    ]
+    for t in terms:
+        assert term_from_obj(term_to_obj(t)) == t
+
+
+def test_result_serialization_round_trips():
+    r = safe_result(preds=(PRED,))
+    back = result_from_obj(result_to_obj(r))
+    assert back.safe and back.predicates == (PRED,)

@@ -1,0 +1,161 @@
+"""Slice digest determinism and sensitivity (the cache's soundness base)."""
+
+import os
+import subprocess
+import sys
+
+from repro.engine.digest import (
+    relevant_variables,
+    shape_key,
+    slice_digest,
+    slice_view,
+)
+from repro.lang.lower import lower_source
+
+TAS = """
+global int x, state;
+thread main {
+  local int old;
+  while (1) {
+    atomic { old = state; if (state == 0) { state = 1; } }
+    if (old == 0) { x = x + 1; state = 0; }
+  }
+}
+"""
+
+# Same program plus a statement on a variable outside the slice of x:
+# its edge renders as the canonical ``havoc`` token.
+TAS_IRRELEVANT = """
+global int x, state, counter;
+thread main {
+  local int old;
+  while (1) {
+    atomic { old = state; if (state == 0) { state = 1; } }
+    if (old == 0) { x = x + 1; state = 0; }
+    counter = counter + 7;
+  }
+}
+"""
+
+# The irrelevant statement edited (different rhs, different name): the
+# havoc normalization must make the digest for x identical.
+TAS_IRRELEVANT_EDITED = TAS_IRRELEVANT.replace(
+    "counter = counter + 7", "counter = counter - 90"
+).replace("counter", "cnt")
+
+# One token of the slice changed (x + 2 instead of x + 1).
+TAS_MUTATED = TAS.replace("x = x + 1", "x = x + 2")
+
+# Formatting-only changes: extra whitespace and a redundant block.
+TAS_REFORMATTED = """
+global int x, state;
+thread main {
+  local int old;
+  while (1) {
+    atomic {
+      old = state;
+      if (state == 0) { state = 1; }
+    }
+    if (old == 0) {
+      x = x + 1;
+      state = 0;
+    }
+  }
+}
+"""
+
+
+def test_digest_stable_within_process():
+    a = slice_digest(lower_source(TAS), "x")
+    b = slice_digest(lower_source(TAS), "x")
+    assert a == b
+
+
+def test_digest_ignores_formatting():
+    assert slice_digest(lower_source(TAS), "x") == slice_digest(
+        lower_source(TAS_REFORMATTED), "x"
+    )
+
+
+def test_digest_ignores_edits_to_irrelevant_statements():
+    """Rewriting a statement outside the slice of x (different
+    expression, different variable name) keeps the digest for x: the
+    edge renders as ``havoc`` either way."""
+    a = lower_source(TAS_IRRELEVANT)
+    b = lower_source(TAS_IRRELEVANT_EDITED)
+    assert slice_digest(a, "x") == slice_digest(b, "x")
+    # ... while the digest *for* the edited variable naturally moves.
+    assert slice_digest(a, "counter") != slice_digest(b, "cnt")
+
+
+def test_digest_ignores_other_threads():
+    """Verification lowers one thread template; editing another thread
+    of the same file never reaches the digest."""
+    two = TAS.replace(
+        "thread main {",
+        "thread helper { while (1) { skip; } }\nthread main {",
+    )
+    assert slice_digest(lower_source(TAS, "main"), "x") == slice_digest(
+        lower_source(two, "main"), "x"
+    )
+
+
+def test_digest_changes_on_one_token_slice_mutation():
+    assert slice_digest(lower_source(TAS), "x") != slice_digest(
+        lower_source(TAS_MUTATED), "x"
+    )
+
+
+def test_digest_distinguishes_variables():
+    cfa = lower_source(TAS)
+    assert slice_digest(cfa, "x") != slice_digest(cfa, "state")
+
+
+def test_relevant_closure_contains_guard_variables():
+    cfa = lower_source(TAS)
+    rel = relevant_variables(cfa, "x")
+    # state guards the write to x (via assume edges), old feeds the guard.
+    assert {"x", "state", "old"} <= rel
+
+
+def test_slice_view_renders_havoc_for_irrelevant_edges():
+    view = slice_view(lower_source(TAS_IRRELEVANT), "x")
+    assert "havoc" in view.text
+    assert "counter" not in view.text
+
+
+def test_shape_key_survives_control_flow_changes():
+    """The warm-start shape keys only on the operations touching the
+    variable, so the irrelevant extension shares the shape."""
+    assert shape_key(lower_source(TAS), "x") == shape_key(
+        lower_source(TAS_IRRELEVANT), "x"
+    )
+    assert shape_key(lower_source(TAS), "x") != shape_key(
+        lower_source(TAS_MUTATED), "x"
+    )
+
+
+def test_digest_stable_across_hash_randomization():
+    """The digest must be a pure function of the program text: fresh
+    interpreters with different PYTHONHASHSEED values (different set/dict
+    iteration orders) must all render the same canonical slice."""
+    prog = (
+        "import sys; sys.path.insert(0, sys.argv[1])\n"
+        "from repro.engine.digest import slice_digest\n"
+        "from repro.lang.lower import lower_source\n"
+        f"src = {TAS!r}\n"
+        "print(slice_digest(lower_source(src), 'x'))\n"
+    )
+    src_root = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    digests = set()
+    for seed in ("0", "1", "12345"):
+        env = dict(os.environ, PYTHONHASHSEED=seed)
+        out = subprocess.run(
+            [sys.executable, "-c", prog, src_root],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        digests.add(out.stdout.strip())
+    assert len(digests) == 1

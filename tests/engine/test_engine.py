@@ -1,0 +1,241 @@
+"""End-to-end engine behavior: planning, caching, crash recovery."""
+
+import json
+
+import pytest
+
+from repro.circ.circ import circ
+from repro.engine import BatchItem, EventLog, run_batch, verify_one
+from repro.lang.lower import lower_source
+
+BELT = """
+global int m, x;
+thread t {
+  while (1) {
+    lock(m);
+    atomic { x = x + 1; }
+    unlock(m);
+  }
+}
+"""
+
+TAS = """
+global int x, state;
+thread main {
+  local int old;
+  while (1) {
+    atomic { old = state; if (state == 0) { state = 1; } }
+    if (old == 0) { x = x + 1; state = 0; }
+  }
+}
+"""
+
+RACY = """
+global int x;
+thread t {
+  while (1) { x = x + 1; }
+}
+"""
+
+ITEMS = [
+    BatchItem(model="belt", source=BELT, variables=("x",)),
+    BatchItem(model="tas", source=TAS, variables=("x", "state")),
+    BatchItem(model="racy", source=RACY, variables=("x",)),
+]
+
+
+def expected_verdicts():
+    out = {}
+    for item in ITEMS:
+        cfa = lower_source(item.source, item.thread)
+        for v in item.variables:
+            result = circ(cfa, race_on=v)
+            out[(item.model, v)] = "safe" if result.safe else "race"
+    return out
+
+
+def test_batch_matches_serial_circ(tmp_path):
+    """Engine verdicts (static pruning + cache + pool) equal plain circ."""
+    report = run_batch(ITEMS, cache_dir=str(tmp_path), workers=2)
+    got = {(r.model, r.variable): r.verdict for r in report.rows}
+    assert got == expected_verdicts()
+
+
+def test_second_run_hits_cache(tmp_path):
+    cold = run_batch(ITEMS, cache_dir=str(tmp_path), workers=1)
+    warm = run_batch(ITEMS, cache_dir=str(tmp_path), workers=1)
+    assert {(r.model, r.variable): r.verdict for r in warm.rows} == {
+        (r.model, r.variable): r.verdict for r in cold.rows
+    }
+    assert warm.hit_rate >= 0.9
+    assert all(
+        r.source in ("cache", "static") for r in warm.rows
+    ), [r.source for r in warm.rows]
+
+
+def test_static_prune_discharges_protected_variable(tmp_path):
+    report = run_batch(
+        [BatchItem(model="belt", source=BELT, variables=("x",))],
+        cache_dir=str(tmp_path),
+    )
+    (row,) = report.rows
+    assert row.verdict == "safe" and row.source == "static"
+    assert report.n_jobs == 0  # nothing was spawned
+
+
+def test_no_prefilter_forces_jobs():
+    report = run_batch(
+        [BatchItem(model="belt", source=BELT, variables=("x",))],
+        prefilter=False,
+        workers=1,
+    )
+    (row,) = report.rows
+    assert row.verdict == "safe" and row.source == "circ"
+
+
+def test_identical_slices_dedup_to_one_job():
+    """Two models whose slices for x coincide verify once."""
+    report = run_batch(
+        [
+            BatchItem(model="a", source=TAS, variables=("x",)),
+            BatchItem(model="b", source=TAS, variables=("x",)),
+        ],
+        workers=1,
+    )
+    assert report.n_jobs == 1
+    assert report.n_deduped == 1
+    assert [r.verdict for r in report.rows] == ["safe", "safe"]
+
+
+def test_worker_killed_mid_job_recovers(tmp_path):
+    """A worker dying (os._exit) must degrade to the serial fallback and
+    still produce a full, correct verdict table."""
+    events = EventLog()
+    report = run_batch(
+        [BatchItem(model="tas", source=TAS, variables=("x", "state"))],
+        cache_dir=str(tmp_path),
+        workers=2,
+        events=events,
+        _test_kill_first_attempt=True,
+    )
+    assert [r.verdict for r in report.rows] == ["safe", "safe"]
+    assert events.of_kind(
+        "worker_failed"
+    ), "the killed workers must be observed and logged"
+    serial = [
+        e
+        for e in events.of_kind("job_started")
+        if e.get("mode") == "serial"
+    ]
+    assert serial, "the lost jobs must have been retried in-process"
+
+
+def test_rows_keep_input_order():
+    report = run_batch(ITEMS, workers=1)
+    assert [(r.model, r.variable) for r in report.rows] == [
+        (item.model, v) for item in ITEMS for v in item.variables
+    ]
+
+
+def test_budget_exhaustion_reports_unknown():
+    report = run_batch(
+        [BatchItem(model="tas", source=TAS, variables=("x",))],
+        prefilter=False,
+        workers=1,
+        max_iterations=1,
+    )
+    (row,) = report.rows
+    assert row.verdict == "unknown"
+    assert "budget" in row.detail
+    assert report.unknown == [row]
+
+
+def test_unknown_is_not_cached_as_verdict(tmp_path):
+    """A budget UNKNOWN must not poison the cache: a repeat query with
+    the same budget retries instead of being served a cached give-up."""
+    run_batch(
+        [BatchItem(model="tas", source=TAS, variables=("x",))],
+        cache_dir=str(tmp_path),
+        prefilter=False,
+        workers=1,
+        max_iterations=1,
+    )
+    again = run_batch(
+        [BatchItem(model="tas", source=TAS, variables=("x",))],
+        cache_dir=str(tmp_path),
+        prefilter=False,
+        workers=1,
+        max_iterations=1,
+    )
+    (row,) = again.rows
+    assert row.source != "cache"  # the give-up was not served back
+    # A retry with an adequate budget then verifies (and caches).
+    ok = run_batch(
+        [BatchItem(model="tas", source=TAS, variables=("x",))],
+        cache_dir=str(tmp_path),
+        prefilter=False,
+        workers=1,
+    )
+    assert ok.rows[0].verdict == "safe"
+
+
+def test_events_jsonl_written(tmp_path):
+    path = tmp_path / "events.jsonl"
+    run_batch(ITEMS, cache_dir=str(tmp_path / "c"), events=str(path))
+    lines = [json.loads(ln) for ln in path.read_text().splitlines()]
+    kinds = {e["event"] for e in lines}
+    assert "batch_started" in kinds
+    assert "job_planned" in kinds
+    assert "batch_summary" in kinds
+    assert all("t" in e for e in lines)
+
+
+def test_verify_one_uses_cache(tmp_path):
+    cfa = lower_source(TAS)
+    events = EventLog()
+    first = verify_one(cfa, "x", cache_dir=str(tmp_path), events=events)
+    second = verify_one(cfa, "x", cache_dir=str(tmp_path), events=events)
+    assert first.safe and second.safe
+    assert events.of_kind("cache_hit")
+
+
+def test_verify_one_budget_returns_unknown(tmp_path):
+    cfa = lower_source(TAS)
+    result = verify_one(cfa, "x", max_iterations=1)
+    assert result.unknown
+
+
+def test_unknown_variable_rejected():
+    with pytest.raises(ValueError, match="not a global"):
+        run_batch([BatchItem(model="m", source=TAS, variables=("nope",))])
+
+
+def test_warm_start_seeds_reduce_iterations(tmp_path):
+    """After caching a proof for one shape, a near-miss (same accesses
+    to x, different surrounding control flow) warm-starts: it must still
+    verify, and the warm source is recorded."""
+    # An extra statement on an unrelated variable perturbs the slice
+    # structure (digest miss) without touching any access to x (shape
+    # hit).
+    variant = TAS.replace(
+        "global int x, state;", "global int x, state, counter;"
+    ).replace(
+        "if (old == 0) { x = x + 1; state = 0; }",
+        "counter = counter + 1; if (old == 0) { x = x + 1; state = 0; }",
+    )
+    run_batch(
+        [BatchItem(model="orig", source=TAS, variables=("x",))],
+        cache_dir=str(tmp_path),
+        workers=1,
+    )
+    events = EventLog()
+    report = run_batch(
+        [BatchItem(model="variant", source=variant, variables=("x",))],
+        cache_dir=str(tmp_path),
+        workers=1,
+        events=events,
+    )
+    (row,) = report.rows
+    assert row.verdict == "safe"
+    assert events.of_kind("warm_start")
+    assert row.source == "circ-warm"

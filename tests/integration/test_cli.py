@@ -205,3 +205,85 @@ def test_redundant_subcommand(tmp_path, capsys):
     assert main(["redundant", str(f), "--var", "x"]) == 0
     out = capsys.readouterr().out
     assert "REDUNDANT" in out
+
+
+def test_check_budget_unknown_exit_code(fig1_file, capsys):
+    assert main(["check", fig1_file, "--var", "x", "--max-iterations", "1"]) == 4
+    assert "x: UNKNOWN" in capsys.readouterr().out
+
+
+def test_static_json_includes_shared_report(mixed_file, capsys):
+    import json
+
+    assert main(["static", mixed_file, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "repro-race/report-v1"
+    rows = {r["variable"]: r for r in payload["report"]}
+    assert rows["p"]["verdict"] == "safe"
+    assert rows["c"]["verdict"] == "unknown"
+    assert all(r["source"] == "static" for r in payload["report"])
+    assert set(rows["c"]) == {
+        "model", "variable", "verdict", "source", "time_ms", "detail",
+    }
+
+
+def test_batch_subcommand(fig1_file, racy_file, tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    code = main(
+        ["batch", fig1_file, racy_file, "--var", "x", "--cache", cache,
+         "--jobs", "1"]
+    )
+    assert code == 1  # racy.c races on x
+    out = capsys.readouterr().out
+    assert "fig1.c" in out and "racy.c" in out
+    assert "race" in out and "safe" in out
+    # Second run answers from the cache.
+    assert main(
+        ["batch", fig1_file, racy_file, "--var", "x", "--cache", cache,
+         "--jobs", "1"]
+    ) == 1
+    out = capsys.readouterr().out
+    assert "hit rate 100%" in out
+
+
+def test_batch_json_shares_report_schema(fig1_file, tmp_path, capsys):
+    import json
+
+    code = main(
+        ["batch", fig1_file, "--var", "x", "--json",
+         "--cache", str(tmp_path / "cache"), "--jobs", "1"]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "repro-race/report-v1"
+    (row,) = payload["rows"]
+    assert set(row) == {
+        "model", "variable", "verdict", "source", "time_ms", "detail",
+    }
+    assert row["verdict"] == "safe"
+    assert payload["summary"]["queries"] == 1
+
+
+def test_batch_budget_unknown_exit_code(fig1_file, tmp_path, capsys):
+    code = main(
+        ["batch", fig1_file, "--var", "x", "--no-cache", "--jobs", "1",
+         "--no-prefilter", "--max-iterations", "1"]
+    )
+    assert code == 4
+    assert "unknown" in capsys.readouterr().out
+
+
+def test_batch_without_inputs_is_usage_error(capsys):
+    assert main(["batch"]) == 2
+
+
+def test_batch_events_jsonl(fig1_file, tmp_path, capsys):
+    import json
+
+    events = tmp_path / "events.jsonl"
+    assert main(
+        ["batch", fig1_file, "--var", "x", "--no-cache", "--jobs", "1",
+         "--events", str(events)]
+    ) == 0
+    lines = [json.loads(ln) for ln in events.read_text().splitlines()]
+    assert any(e["event"] == "batch_summary" for e in lines)

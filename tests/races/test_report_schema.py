@@ -1,0 +1,89 @@
+"""Golden test for the shared report schema (static and batch --json)."""
+
+import json
+
+from repro.engine import BatchItem, run_batch
+from repro.lang.lower import lower_source
+from repro.races.report import (
+    REPORT_SCHEMA,
+    ReportRow,
+    render_rows_table,
+    rows_from_batch,
+    rows_from_static,
+    rows_to_payload,
+)
+from repro.static.classify import classify
+
+BELT = """
+global int m, x;
+thread t {
+  while (1) {
+    lock(m);
+    atomic { x = x + 1; }
+    unlock(m);
+  }
+}
+"""
+
+#: The exact serialized form both subcommands must emit.  Changing the
+#: schema is a breaking change for downstream consumers: update this
+#: golden together with REPORT_SCHEMA.
+GOLDEN = {
+    "schema": "repro-race/report-v1",
+    "rows": [
+        {
+            "model": "belt",
+            "variable": "x",
+            "verdict": "safe",
+            "source": "static",
+            "time_ms": 0.0,
+            "detail": (
+                "protected: every access holds atomic sections, "
+                "monitor 'm'"
+            ),
+        }
+    ],
+}
+
+
+def test_payload_matches_golden():
+    report = classify(lower_source(BELT), ["x"])
+    payload = rows_to_payload(rows_from_static(report, model="belt"))
+    assert payload == GOLDEN
+
+
+def test_payload_is_json_serializable_and_stable():
+    report = classify(lower_source(BELT), ["x"])
+    payload = rows_to_payload(rows_from_static(report, model="belt"))
+    assert json.loads(json.dumps(payload)) == payload
+
+
+def test_batch_rows_use_the_same_shape():
+    batch = run_batch(
+        [BatchItem(model="belt", source=BELT, variables=("x",))]
+    )
+    payload = rows_to_payload(rows_from_batch(batch))
+    assert payload["schema"] == REPORT_SCHEMA
+    (row,) = payload["rows"]
+    assert set(row) == set(GOLDEN["rows"][0])
+    assert row["verdict"] == "safe"
+    assert row["source"] == "static"
+
+
+def test_must_check_maps_to_unknown_verdict():
+    src = "global int x; thread t { while (1) { x = x + 1; } }"
+    report = classify(lower_source(src), ["x"])
+    (row,) = rows_from_static(report, model="racy")
+    assert row.verdict == "unknown"
+    assert row.source == "static"
+    assert row.detail.startswith("must-check")
+
+
+def test_render_table_lists_every_row():
+    rows = [
+        ReportRow("m1", "x", "safe", "cache", 0.0),
+        ReportRow("m2", "y", "race", "circ", 12.5),
+    ]
+    table = render_rows_table(rows)
+    for needle in ("m1", "m2", "x", "y", "safe", "race", "cache", "circ"):
+        assert needle in table
