@@ -16,10 +16,12 @@ paper feeds to CIRC.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
+from ..cfa.cfa import CFA
 from ..nesc.model import NescApp
 
-__all__ = ["FlowWarning", "FlowReport", "flow_analysis"]
+__all__ = ["FlowWarning", "FlowReport", "flow_analysis", "flow_analysis_cfa"]
 
 
 @dataclass(frozen=True)
@@ -90,3 +92,38 @@ def flow_analysis(app: NescApp) -> FlowReport:
     return FlowReport(
         warnings=warnings, interrupt_shared=frozenset(candidates)
     )
+
+
+def flow_analysis_cfa(
+    cfa: CFA, variables: Iterable[str] | None = None
+) -> FlowReport:
+    """The nesC flow check transposed to a symmetric CFA program.
+
+    A shared variable passes when it is never written, or when every
+    location with an enabled access sits inside an atomic section -- in
+    either case no reachable state of ``C``^n can satisfy the Section
+    4.1 race predicate, so silence is a sound safety claim for every
+    thread count.  Anything else draws a warning (possibly a false
+    positive: this check knows nothing about locks or monitor flags).
+    """
+    targets = (
+        sorted(variables) if variables is not None else sorted(cfa.globals)
+    )
+    warnings = []
+    written: set[str] = set()
+    for var in targets:
+        sites = [q for q in cfa.locations if cfa.may_access(q, var)]
+        if any(cfa.may_write(q, var) for q in sites):
+            written.add(var)
+        else:
+            continue  # read-only (or untouched): no race possible
+        unprotected = [q for q in sites if not cfa.is_atomic(q)]
+        if unprotected:
+            warnings.append(
+                FlowWarning(
+                    variable=var,
+                    unprotected_in_event=True,
+                    unprotected_in_task=False,
+                )
+            )
+    return FlowReport(warnings=warnings, interrupt_shared=frozenset(written))

@@ -36,17 +36,42 @@ from ..predabs.abstractor import Abstractor
 from ..predabs.region import PredicateSet
 from ..smt import terms as T
 from .omega import omega_check
-from .reach import AbstractRaceFound, ReachResult, reach_and_build
+from .reach import (
+    AbstractRaceFound,
+    ReachBudgetExceeded,
+    ReachResult,
+    reach_and_build,
+)
 from .refine import MiningStrategy, RealRace, Refinement, RefinementFailure, refine
 from .result import CircSafe, CircStats, CircUnknown, CircUnsafe, IterationRecord
 
-__all__ = ["CircError", "CircBudgetExceeded", "circ", "omega_check"]
+__all__ = [
+    "CircError",
+    "CircBudgetExceeded",
+    "CircInconclusive",
+    "circ",
+    "omega_check",
+]
 
 Variant = Literal["circ", "omega"]
 
 
 class CircError(RuntimeError):
     """CIRC did not converge within its iteration budgets."""
+
+
+class CircInconclusive(CircError):
+    """Refinement stalled: an abstract race could neither be realized as
+    a concrete witness nor refuted with new predicates, and the bounded
+    concrete fallback was inconclusive.  Wraps the
+    :class:`~repro.circ.result.CircUnknown` verdict in ``result`` so
+    callers that prefer a value to an exception can unwrap it, exactly
+    like :class:`CircBudgetExceeded`.
+    """
+
+    def __init__(self, result: CircUnknown):
+        super().__init__(result.reason)
+        self.result = result
 
 
 class CircBudgetExceeded(CircError):
@@ -98,6 +123,7 @@ def circ(
     if race_on is None and not check_errors:
         raise ValueError("nothing to check: give race_on or check_errors")
     start_time = time.perf_counter()
+    deadline = start_time + timeout_s if timeout_s is not None else None
     stats = CircStats(final_k=k)
     preds = PredicateSet(initial_predicates)
     omega_start = variant == "circ"
@@ -148,6 +174,7 @@ def circ(
                     check_errors=check_errors,
                     omega_start=omega_start,
                     max_states=max_states,
+                    deadline=deadline,
                 )
             except AbstractRaceFound as exc:
                 record(
@@ -178,8 +205,33 @@ def circ(
                     # interleaving of silent steps that the trace-placement
                     # heuristic cannot express.  Fall back to a bounded
                     # explicit-state search, which is sound (it reports
-                    # only genuine races); an inconclusive search re-raises.
-                    outcome = _concrete_fallback(cfa, race_on, check_errors)
+                    # only genuine races); if that is inconclusive too,
+                    # surface a clean UNKNOWN rather than leaking the
+                    # internal RefinementFailure to callers.  The fallback
+                    # respects the remaining wall-clock budget: a timeout
+                    # mid-search surfaces as CircBudgetExceeded below.
+                    check_budget()
+                    try:
+                        outcome = _concrete_fallback(
+                            cfa, race_on, check_errors, deadline
+                        )
+                    except RefinementFailure as stalled:
+                        # A deadline-truncated search is a budget story,
+                        # not a refinement stall.
+                        check_budget()
+                        stats.n_predicates = len(preds)
+                        stats.final_k = k
+                        stats.elapsed_seconds = (
+                            time.perf_counter() - start_time
+                        )
+                        raise CircInconclusive(
+                            CircUnknown(
+                                variable=race_on,
+                                reason=str(stalled),
+                                predicates=tuple(preds),
+                                stats=stats,
+                            )
+                        ) from stalled
                 if isinstance(outcome, RealRace):
                     if validate_witness:
                         program_c = MultiProgram.symmetric(
@@ -218,6 +270,11 @@ def circ(
                 k = outcome.new_k
                 refined = True
                 break
+            except ReachBudgetExceeded as exc:
+                # Typed degrade: the wall-clock deadline or abstract
+                # state budget ran out inside one reachability pass.
+                check_budget()
+                raise CircError(str(exc)) from exc
 
             stats.abstract_states += reach.states_explored
             record(
@@ -283,13 +340,18 @@ def circ(
 
 
 def _concrete_fallback(
-    cfa: CFA, race_on: str | None, check_errors: bool
+    cfa: CFA,
+    race_on: str | None,
+    check_errors: bool,
+    deadline: float | None = None,
 ) -> RealRace:
     """Bounded explicit-state search for a genuine race witness.
 
     Used when Refine can neither realize nor refute an abstract trace (its
     silent-step placement is a heuristic).  Tries 2..4 symmetric threads
     with a growing state budget; raises RefinementFailure when inconclusive.
+    ``deadline`` (an absolute ``perf_counter`` instant, from the caller's
+    ``timeout_s``) bounds the search in wall-clock time as well.
     """
     from ..exec.interp import explore
 
@@ -300,6 +362,7 @@ def _concrete_fallback(
             race_on=race_on,
             check_errors=check_errors,
             max_states=60_000 * n,
+            deadline=deadline,
         )
         if result.found:
             return RealRace(

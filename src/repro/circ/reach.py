@@ -18,6 +18,7 @@ procedure needs to concretize context operations back into CFA paths.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -227,13 +228,15 @@ def reach_and_build(
     check_errors: bool = False,
     omega_start: bool = True,
     max_states: int = 500_000,
+    deadline: float | None = None,
     arg_name: str = "arg",
 ) -> ReachResult:
     """Compute abstract reachability; build the ARG (Algorithm 1).
 
     Raises :class:`AbstractRaceFound` with the abstract counterexample when
     an error state is reachable, :class:`ReachBudgetExceeded` when the
-    budget runs out.
+    state budget -- or the optional ``deadline``, an absolute
+    :func:`time.perf_counter` instant -- runs out.
     """
     cfa = program.cfa
     builder = ArgBuilder(cfa, program.abstractor.preds)
@@ -312,6 +315,8 @@ def reach_and_build(
     while frontier:
         next_frontier: list[AbsState] = []
         for state in frontier:
+            if deadline is not None and time.perf_counter() > deadline:
+                raise ReachBudgetExceeded("wall-clock deadline exceeded")
             src_ts = state.thread_state()
             src_loc = builder.find(src_ts)
             for move in program.enabled_moves(state):

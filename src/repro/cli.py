@@ -34,8 +34,16 @@ Subcommands
     worker pool.  ``--json`` emits the shared report schema also used
     by ``static --json``.
 
-Exit codes: 0 verified, 1 race found, 2 usage/parse error, 3 budget
-exhausted (explore), 4 verification undecided (UNKNOWN verdict).
+``fuzz --seed N --iters K``
+    Differential fuzzing: random programs through every verdict path
+    (circ, prefilter, engine cold/warm, lockset, flow) cross-checked
+    against the explicit-state oracle.  Hard disagreement classes
+    (unsoundness, forged witness, oracle contradiction, crash) exit
+    nonzero; minimized reproducers can be persisted with ``--corpus``.
+
+Exit codes: 0 verified, 1 race found (or hard fuzz disagreement),
+2 usage/parse error, 3 budget exhausted (explore), 4 verification
+undecided (UNKNOWN verdict).
 """
 
 from __future__ import annotations
@@ -47,7 +55,7 @@ from pathlib import Path
 
 from .baselines.lockset import lockset_analysis
 from .baselines.threadmodular import thread_modular
-from .circ import CircBudgetExceeded, CircError, circ
+from .circ import CircBudgetExceeded, CircError, CircInconclusive, circ
 from .exec.interp import MultiProgram, explore
 from .lang.lower import lower_source
 from .races.spec import racy_variables
@@ -107,7 +115,7 @@ def _cmd_check(args) -> int:
                 max_iterations=args.max_iterations,
                 timeout_s=args.timeout,
             )
-        except CircBudgetExceeded as exc:
+        except (CircBudgetExceeded, CircInconclusive) as exc:
             result = exc.result
         except CircError as exc:
             print(f"{var}: UNDECIDED ({exc})")
@@ -400,6 +408,80 @@ def _cmd_batch(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .fuzz.diff import (
+        HARD_CLASSES,
+        FuzzConfig,
+        run_fuzz,
+        write_corpus,
+    )
+    from .fuzz.gen import GenConfig
+    from .races.report import render_rows_table, rows_to_payload
+
+    circ_options = []
+    if args.max_iterations is not None:
+        circ_options.append(("max_iterations", args.max_iterations))
+    if args.timeout is not None:
+        circ_options.append(("timeout_s", args.timeout))
+    config = FuzzConfig(
+        gen=GenConfig(),
+        max_threads=args.threads,
+        max_states=args.max_states,
+        circ_options=FuzzConfig().circ_options + tuple(circ_options),
+        shrink_failures=not args.no_shrink,
+    )
+    shrink_classes = (
+        frozenset(HARD_CLASSES | {"incompleteness"})
+        if args.shrink_all
+        else HARD_CLASSES
+    )
+    report = run_fuzz(
+        seed=args.seed,
+        iters=args.iters,
+        config=config,
+        events=args.events,
+        shrink_classes=shrink_classes,
+    )
+
+    by_class: dict[str, int] = {}
+    for _, _, d in report.disagreements:
+        by_class[d.classification] = by_class.get(d.classification, 0) + 1
+    summary = {
+        "seed": args.seed,
+        "iters": args.iters,
+        "oracle": report.oracle_counts,
+        "disagreements": by_class,
+        "hard": len(report.hard),
+        "elapsed_s": round(report.elapsed_seconds, 2),
+    }
+    if args.corpus:
+        written = write_corpus(report, args.corpus)
+        summary["corpus_files"] = [str(p) for p in written]
+
+    if args.json:
+        import json
+
+        print(json.dumps(rows_to_payload(report.rows, summary=summary), indent=2))
+    else:
+        if args.verbose:
+            print(render_rows_table(report.rows))
+            print()
+        print(
+            f"{args.iters} programs (seeds {args.seed}.."
+            f"{args.seed + args.iters - 1}): oracle {report.oracle_counts}; "
+            f"disagreements {by_class or 'none'}; "
+            f"{report.elapsed_seconds:.1f}s"
+        )
+        for seed, source, d in report.hard:
+            print(
+                f"\nHARD {d.classification} on path {d.path} "
+                f"(seed {seed}): tool={d.tool_verdict} "
+                f"oracle={d.oracle_verdict} -- {d.detail}"
+            )
+            print(source)
+    return 1 if report.hard else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-race",
@@ -540,6 +622,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-job wall-clock budget (UNKNOWN when hit)",
     )
     p.set_defaults(func=_cmd_batch)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing of every verdict path vs the oracle",
+    )
+    p.add_argument("--seed", type=int, default=0, help="first generator seed")
+    p.add_argument(
+        "--iters", type=int, default=100, help="number of programs to fuzz"
+    )
+    p.add_argument(
+        "--threads",
+        type=int,
+        default=3,
+        metavar="N",
+        help="oracle exploration bound (threads)",
+    )
+    p.add_argument(
+        "--max-states",
+        type=int,
+        default=60_000,
+        help="oracle per-bound state budget",
+    )
+    p.add_argument(
+        "--events", metavar="FILE", help="append JSONL telemetry to FILE"
+    )
+    p.add_argument(
+        "--corpus",
+        metavar="DIR",
+        help="persist minimized reproducers into DIR",
+    )
+    p.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failing programs unminimized",
+    )
+    p.add_argument(
+        "--shrink-all",
+        action="store_true",
+        help="also minimize logged (incompleteness) disagreements",
+    )
+    p.add_argument(
+        "--max-iterations",
+        type=int,
+        help="per-path CIRC refinement budget (UNKNOWN when hit)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="per-path CIRC wall-clock budget (UNKNOWN when hit)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="print the per-path report table",
+    )
+    p.set_defaults(func=_cmd_fuzz)
 
     return parser
 

@@ -19,10 +19,16 @@ least set of variables containing ``x`` that is closed under
   conservative closure, never the minimal one).
 
 The slice keeps the *entire* CFA graph -- every location, edge, atomic
-mark, and error mark -- but replaces the operation of every edge that
-neither reads nor writes a variable of ``R`` by the canonical token
-``havoc``.  Such an operation is an identity on the ``R``-portion of the
-state and is not an access to ``x``, so two programs with identical
+mark, and error mark -- but normalizes the operation of every edge that
+writes no variable of ``R``: such an operation is an identity on the
+``R``-portion of the state, so it renders as the canonical token
+``havoc``, or as ``read x`` when it reads the query variable (that read
+access is race-relevant even though the write target is not).  Assume
+edges always render verbatim: their variables are in ``R`` by
+construction, and a blocking guard is not an identity.  Names of
+irrelevant variables therefore never reach the rendering, which makes
+the digest stable under alpha-renaming outside ``R`` (property-tested
+in ``tests/fuzz/test_properties.py``).  Two programs with identical
 slices have identical abstract semantics with respect to any predicate
 set over ``R`` and identical race conditions on ``x``: a cache hit is
 sound (see docs/ALGORITHM.md section 8 for the full argument).
@@ -58,7 +64,7 @@ __all__ = [
 
 #: Bump when the rendering format changes; keyed into every digest so
 #: stale cache entries from older layouts can never collide.
-DIGEST_SCHEMA = "circ-slice-v1"
+DIGEST_SCHEMA = "circ-slice-v2"
 
 
 def _op_text(op) -> str:
@@ -98,10 +104,21 @@ class SliceView:
     digest: str
 
 
-def _edge_line(e: Edge, relevant: frozenset[str]) -> str:
-    touched = e.op.reads() | e.op.writes()
-    if touched & relevant:
-        return _op_text(e.op)
+def _edge_line(e: Edge, relevant: frozenset[str], variable: str) -> str:
+    op = e.op
+    if isinstance(op, AssumeOp):
+        # Guards always render: their variables are relevant by
+        # construction, and a blocking predicate is not an identity.
+        return _op_text(op)
+    if op.writes() & relevant:
+        return _op_text(op)
+    # Writes no relevant variable: an identity on the R-portion of the
+    # state.  The only race-relevant fact left is a read access of the
+    # query variable itself; render it as a canonical token so names of
+    # irrelevant variables (the write target, other operands) never
+    # reach the digest.
+    if variable in op.reads():
+        return f"read {variable}"
     return "havoc"
 
 
@@ -114,7 +131,7 @@ def slice_view(cfa: CFA, variable: str) -> SliceView:
     edge_keys: dict[int, list[tuple[str, int, Edge]]] = {}
     for e in cfa.edges:
         edge_keys.setdefault(e.src, []).append(
-            (_edge_line(e, relevant), e.dst, e)
+            (_edge_line(e, relevant, variable), e.dst, e)
         )
     for lines in edge_keys.values():
         lines.sort(key=lambda item: (item[0], item[1]))

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..cfa.cfa import CFA
-from ..circ.circ import CircBudgetExceeded, circ
+from ..circ.circ import CircBudgetExceeded, CircInconclusive, circ
 from ..circ.result import CircResult
 from .cache import ArtifactCache
 from .digest import shape_key, slice_digest
@@ -165,7 +165,7 @@ def verify_one(
 
     try:
         result: CircResult = circ(cfa, race_on=variable, **options)
-    except CircBudgetExceeded as exc:
+    except (CircBudgetExceeded, CircInconclusive) as exc:
         result = exc.result
     if cache is not None:
         cache.put(digest, result, fp, shape=shape)

@@ -17,6 +17,7 @@ This module serves three roles in the reproduction:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
@@ -224,13 +225,15 @@ def explore(
     race_on: str | None = None,
     check_errors: bool = False,
     max_states: int = 200_000,
+    deadline: float | None = None,
 ) -> ExploreResult:
     """Breadth-first exploration of the reachable states.
 
     Stops at the first race on ``race_on`` (or assertion failure when
     ``check_errors``), returning a shortest witness.  ``complete`` is False
-    when the ``max_states`` budget was exhausted first, in which case the
-    absence of a witness is inconclusive.
+    when the ``max_states`` budget -- or the optional ``deadline``, an
+    absolute :func:`time.perf_counter` instant -- was exhausted first, in
+    which case the absence of a witness is inconclusive.
     """
 
     def is_bad(s: ConcreteState) -> bool:
@@ -266,6 +269,8 @@ def explore(
     while frontier:
         next_frontier: list[ConcreteState] = []
         for state in frontier:
+            if deadline is not None and time.perf_counter() > deadline:
+                return ExploreResult(visited, False, None)
             for thread, edge, nxt in program.successors(state):
                 if nxt in parent:
                     continue

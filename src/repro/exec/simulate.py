@@ -20,12 +20,21 @@ __all__ = ["SimulationResult", "simulate"]
 
 @dataclass
 class SimulationResult:
-    """Outcome of a batch of random runs."""
+    """Outcome of a batch of random runs.
+
+    ``deadlocks`` counts runs that got *stuck*: no transition was
+    enabled even though some thread still had out-edges (e.g. every
+    thread blocked on an assume, or an atomic thread blocked while
+    holding the section).  Runs where every thread simply reached a
+    location with no out-edges are normal completions, counted in
+    ``terminations`` instead.
+    """
 
     runs: int
     steps_total: int
     witness: Optional[RaceWitness] = None
     deadlocks: int = 0
+    terminations: int = 0
 
     @property
     def found(self) -> bool:
@@ -45,11 +54,20 @@ def simulate(
     Returns on the first race on ``race_on`` (or assertion failure when
     ``check_errors``); the witness is the executed prefix, genuine by
     construction.  A run with no enabled transition counts as a deadlock
-    (e.g. every thread blocked on an assume).
+    only when some thread could still move (it has out-edges but none is
+    enabled); if every thread exhausted its out-edges the run terminated
+    normally.
     """
     rng = random.Random(seed)
     steps_total = 0
     deadlocks = 0
+    terminations = 0
+
+    def is_terminal(state: ConcreteState) -> bool:
+        return not any(
+            program.cfas[i].out(state.thread_pc(i))
+            for i in range(program.n_threads)
+        )
 
     def is_bad(state: ConcreteState) -> bool:
         if race_on is not None and program.is_race_state(state, race_on):
@@ -71,7 +89,10 @@ def simulate(
         for _ in range(max_steps):
             successors = list(program.successors(state))
             if not successors:
-                deadlocks += 1
+                if is_terminal(state):
+                    terminations += 1
+                else:
+                    deadlocks += 1
                 break
             thread, edge, nxt = rng.choice(successors)
             steps.append((thread, edge))
@@ -85,5 +106,8 @@ def simulate(
                     witness=RaceWitness(steps, states),
                 )
     return SimulationResult(
-        runs=runs, steps_total=steps_total, deadlocks=deadlocks
+        runs=runs,
+        steps_total=steps_total,
+        deadlocks=deadlocks,
+        terminations=terminations,
     )

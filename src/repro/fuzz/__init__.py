@@ -1,0 +1,42 @@
+"""Differential fuzzing: random programs vs the explicit-state oracle.
+
+The fuzzing subsystem is the correctness backstop for the repo's four
+independently-evolving verdict paths (plain ``circ``, the static
+prefilter, the batch engine, and the baselines):
+
+* :mod:`repro.fuzz.gen` -- a seeded random program generator emitting
+  well-formed mini-C programs that exercise every lowering path;
+* :mod:`repro.fuzz.oracle` -- a reference oracle deciding race/no-race
+  by explicit-state exploration, with an explicit *bound certificate*
+  stating exactly how far its verdict can be trusted;
+* :mod:`repro.fuzz.diff` -- the differential runner feeding each
+  generated program through every verdict path and classifying each
+  disagreement (unsoundness is a hard failure, incompleteness and
+  budget exhaustion are logged);
+* :mod:`repro.fuzz.shrink` -- a delta-debugging shrinker minimizing
+  failing programs into committed corpus reproducers.
+
+CLI entry point: ``repro-race fuzz --seed N --iters K``.
+"""
+
+from .diff import Disagreement, FuzzConfig, FuzzReport, check_one, run_fuzz
+from .gen import GenConfig, GeneratedProgram, generate, rename_variable, stmt_kinds
+from .oracle import BoundCertificate, OracleVerdict, oracle_check
+from .shrink import shrink
+
+__all__ = [
+    "GenConfig",
+    "GeneratedProgram",
+    "generate",
+    "rename_variable",
+    "stmt_kinds",
+    "BoundCertificate",
+    "OracleVerdict",
+    "oracle_check",
+    "FuzzConfig",
+    "FuzzReport",
+    "Disagreement",
+    "check_one",
+    "run_fuzz",
+    "shrink",
+]

@@ -1,0 +1,698 @@
+"""Seeded random program generator for the mini-C concurrent language.
+
+Programs are generated as ASTs (never as raw text), so every output is
+well-formed by construction: locals are declared before use, ``break``
+only appears inside loops, lock/unlock come in brackets, the monitor
+idiom is emitted as a complete acquire/body/release protocol, and the
+nondeterministic marker ``*`` is only ever a whole condition.  The
+statement vocabulary deliberately covers every lowering path of
+:mod:`repro.lang.lower`: blocks, (initialized) local declarations,
+assignments, if with and without else, while, break, nested atomic
+sections, assume/assert, skip, lock/unlock, return, function inlining
+(both ``f(e)`` statements and ``x = f(e)`` assignments, including the
+fall-through-return path), and the Section 5 pointer extension
+(``&x``, ``*p`` reads, ``*p = e`` writes).
+
+Value discipline: the default right-hand-side pool is closed over a
+small value set (constants ``0/1/2``, copies, and the toggle ``1 - v``
+keep every global in ``{-1, 0, 1, 2}``), so the explicit-state oracle
+terminates on almost every sample; a small configurable fraction of
+unbounded forms (``v + 1``, ``v - 1``, ``2 * v``) exercises the
+oracle's budget classification.
+
+The generated source text is the unparse of the AST, which makes every
+sample a fixture for the parser/unparser round-trip property as well.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from ..smt import terms as T
+from ..lang import ast as A
+from ..lang.unparse import unparse
+
+__all__ = [
+    "GenConfig",
+    "GeneratedProgram",
+    "generate",
+    "stmt_kinds",
+    "rename_variable",
+]
+
+#: The designated race candidate of every generated program.
+RACE_VAR = "x"
+
+#: Statement/expression markers :func:`stmt_kinds` can report; the
+#: coverage test pins that a modest seed range exercises all of them.
+ALL_KINDS = frozenset(
+    {
+        "Assign",
+        "AssignCall",
+        "CallStmt",
+        "LocalDecl",
+        "LocalDeclInit",
+        "If",
+        "IfElse",
+        "While",
+        "Break",
+        "Atomic",
+        "NestedAtomic",
+        "Assume",
+        "Assert",
+        "Skip",
+        "Lock",
+        "Unlock",
+        "Return",
+        "DerefAssign",
+        "Deref",
+        "AddrOf",
+        "Nondet",
+        "Mul",
+        "Function",
+        "FunctionReturnValue",
+    }
+)
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Knobs of the random program generator."""
+
+    #: number of thread templates (``t0`` is always the one under test)
+    n_threads: int = 1
+    #: top-level statements per thread body
+    max_top_stmts: int = 6
+    #: nesting depth of structured statements
+    max_depth: int = 3
+    #: statements per nested block
+    max_block_stmts: int = 3
+    #: enable the Section 5 pointer extension (``&x``, ``*p``)
+    pointers: bool = True
+    #: enable function generation + call statements
+    functions: bool = True
+    #: enable ``lock``/``unlock`` brackets on the dedicated mutex ``m``
+    locks: bool = True
+    #: enable the flag-monitor (test-and-set) idiom on the flag ``f``
+    monitors: bool = True
+    #: enable ``assert`` statements
+    asserts: bool = True
+    #: probability of drawing an unbounded RHS (``v+1``/``v-1``/``2*v``)
+    unbounded_rhs_prob: float = 0.06
+
+
+DEFAULT_CONFIG = GenConfig()
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """One generated sample: the AST, its source, and its metadata."""
+
+    seed: int
+    config: GenConfig
+    program: A.Program
+    source: str
+    race_var: str = RACE_VAR
+    thread: str = "t0"
+
+
+class _Gen:
+    """One generation run; all randomness flows through ``self.rng``."""
+
+    def __init__(self, rng: random.Random, cfg: GenConfig):
+        self.rng = rng
+        self.cfg = cfg
+        self.use_pointers = cfg.pointers and rng.random() < 0.35
+        self.use_locks = cfg.locks and rng.random() < 0.55
+        self.use_monitor = cfg.monitors and rng.random() < 0.55
+        self.use_functions = cfg.functions and rng.random() < 0.45
+        self.functions: list[A.Function] = []
+        # Per-thread state, reset in gen_thread.
+        self.locals: list[str] = []
+        self.local_counter = 0
+        self.loop_depth = 0
+        self.atomic_depth = 0
+        self.lock_held = False
+        self.monitor_held = False
+
+    # -- small helpers ------------------------------------------------------
+
+    def chance(self, p: float) -> bool:
+        return self.rng.random() < p
+
+    def pick(self, seq):
+        return self.rng.choice(seq)
+
+    def readable_vars(self) -> list[str]:
+        out = [RACE_VAR, "s"]
+        if self.use_monitor:
+            out.append("f")
+        out.extend(self.locals)
+        return out
+
+    def writable_vars(self) -> list[str]:
+        # x is over-weighted: it is the race candidate.
+        return [RACE_VAR, RACE_VAR, "s"] + self.locals
+
+    # -- expressions --------------------------------------------------------
+
+    def gen_expr(self) -> T.Term:
+        r = self.rng.random()
+        if r < 0.30:
+            return T.num(self.pick([0, 1, 2]))
+        if r < 0.55:
+            return T.var(self.pick(self.readable_vars()))
+        if r < 1.0 - self.cfg.unbounded_rhs_prob:
+            return T.sub(T.num(1), T.var(self.pick(self.readable_vars())))
+        v = T.var(self.pick(self.readable_vars()))
+        return self.pick(
+            [T.add(v, T.num(1)), T.sub(v, T.num(1)), T.mul(T.num(2), v)]
+        )
+
+    def gen_atom_cond(self) -> T.Term:
+        op = self.pick(["==", "!=", "<", "<=", ">", ">="])
+        lhs = T.var(self.pick(self.readable_vars()))
+        if self.chance(0.75):
+            rhs: T.Term = T.num(self.pick([0, 1, 2]))
+        else:
+            rhs = T.var(self.pick(self.readable_vars()))
+        return T.Cmp(op, lhs, rhs)
+
+    def gen_cond(self) -> T.Term:
+        r = self.rng.random()
+        if r < 0.20:
+            return A.NONDET
+        if r < 0.70:
+            return self.gen_atom_cond()
+        if r < 0.80:
+            return T.not_(self.gen_atom_cond())
+        a, b = self.gen_atom_cond(), self.gen_atom_cond()
+        return T.and_(a, b) if self.chance(0.5) else T.or_(a, b)
+
+    # -- functions ----------------------------------------------------------
+
+    def gen_functions(self) -> None:
+        if not self.use_functions:
+            return
+        # A void setter: writes a global from its parameter.
+        setter_body: tuple[A.Stmt, ...] = (
+            A.Assign(self.pick(["s", RACE_VAR]), T.var("a")),
+        )
+        if self.chance(0.5):
+            setter_body = (
+                A.If(
+                    T.Cmp(">=", T.var("a"), T.num(0)),
+                    A.Block(setter_body),
+                    A.Block((A.Skip(),)),
+                ),
+            )
+        self.functions.append(
+            A.Function("poke", ("a",), False, A.Block(setter_body))
+        )
+        # An int getter; one variant exercises the fall-through-return
+        # path (no return on some paths leaves the result unchanged).
+        if self.chance(0.5):
+            getter_body: tuple[A.Stmt, ...] = (
+                A.Return(T.sub(T.num(1), T.var("a"))),
+            )
+        else:
+            getter_body = (
+                A.If(
+                    T.Cmp(">", T.var("a"), T.num(0)),
+                    A.Block((A.Return(T.var("a")),)),
+                ),
+            )
+        self.functions.append(
+            A.Function("pick", ("a",), True, A.Block(getter_body))
+        )
+
+    # -- statements ---------------------------------------------------------
+
+    def gen_block(self, depth: int) -> A.Block:
+        n = self.rng.randint(1, self.cfg.max_block_stmts)
+        stmts: list[A.Stmt] = []
+        for _ in range(n):
+            stmts.extend(self.gen_stmt(depth))
+        if not stmts:
+            stmts.append(A.Skip())
+        return A.Block(tuple(stmts))
+
+    def gen_stmt(self, depth: int) -> list[A.Stmt]:
+        """Generate one statement (or a bracket pair) as a list."""
+        kinds = [
+            ("assign", 5.0),
+            ("skip", 0.6),
+            ("assume", 0.9),
+            ("local", 1.0 if len(self.locals) < 3 else 0.0),
+            ("read_local", 1.0 if self.locals else 0.0),
+        ]
+        if self.cfg.asserts:
+            kinds.append(("assert", 0.7))
+        if depth > 0:
+            kinds.extend(
+                [
+                    ("if", 2.2),
+                    ("while", 1.4),
+                    ("atomic", 1.8),
+                ]
+            )
+            if self.use_locks and not self.lock_held:
+                kinds.append(("lock", 1.4))
+            if (
+                self.use_monitor
+                and not self.monitor_held
+                and self.atomic_depth == 0
+            ):
+                kinds.append(("monitor", 1.4))
+        if self.loop_depth > 0:
+            kinds.append(("break", 0.8))
+        if self.use_functions:
+            kinds.append(("call", 1.2))
+        if self.use_pointers:
+            kinds.extend(
+                [
+                    ("ptr_retarget", 0.9),
+                    ("deref_write", 1.1),
+                    ("deref_read", 0.8),
+                ]
+            )
+        kinds.append(("return", 0.15))
+
+        names = [k for k, w in kinds if w > 0]
+        weights = [w for _, w in kinds if w > 0]
+        kind = self.rng.choices(names, weights=weights, k=1)[0]
+        return self._emit(kind, depth)
+
+    def _emit(self, kind: str, depth: int) -> list[A.Stmt]:
+        if kind == "assign":
+            return [A.Assign(self.pick(self.writable_vars()), self.gen_expr())]
+        if kind == "skip":
+            return [A.Skip()]
+        if kind == "assume":
+            return [A.Assume(self.gen_cond())]
+        if kind == "assert":
+            return [A.Assert(self.gen_cond())]
+        if kind == "local":
+            name = f"l{self.local_counter}"
+            self.local_counter += 1
+            init = self.gen_expr() if self.chance(0.6) else None
+            stmt = A.LocalDecl(name, init)
+            self.locals.append(name)
+            return [stmt]
+        if kind == "read_local":
+            return [A.Assign(self.pick(self.locals), T.var(RACE_VAR))]
+        if kind == "if":
+            cond = self.gen_cond()
+            then = self.gen_block(depth - 1)
+            if self.chance(0.45):
+                return [A.If(cond, then, self.gen_block(depth - 1))]
+            return [A.If(cond, then)]
+        if kind == "while":
+            # Mostly nondeterministic loops: they terminate on every
+            # schedule yet still generate unbounded interleavings.
+            cond = A.NONDET if self.chance(0.7) else self.gen_cond()
+            self.loop_depth += 1
+            body = self.gen_block(depth - 1)
+            self.loop_depth -= 1
+            return [A.While(cond, body)]
+        if kind == "break":
+            return [A.Break()]
+        if kind == "atomic":
+            self.atomic_depth += 1
+            body = self.gen_block(depth - 1)
+            self.atomic_depth -= 1
+            return [A.Atomic(body)]
+        if kind == "lock":
+            self.lock_held = True
+            inner = self.gen_block(depth - 1)
+            self.lock_held = False
+            return [A.Lock("m"), inner, A.Unlock("m")]
+        if kind == "monitor":
+            self.monitor_held = True
+            inner = self.gen_block(depth - 1)
+            self.monitor_held = False
+            return [
+                A.Atomic(
+                    A.Block(
+                        (
+                            A.Assume(T.eq(T.var("f"), T.num(0))),
+                            A.Assign("f", T.num(1)),
+                        )
+                    )
+                ),
+                inner,
+                A.Assign("f", T.num(0)),
+            ]
+        if kind == "call":
+            if self.chance(0.5):
+                return [A.CallStmt("poke", (self.gen_expr(),))]
+            target = self.pick(self.writable_vars())
+            return [A.AssignCall(target, "pick", (self.gen_expr(),))]
+        if kind == "ptr_retarget":
+            return [A.Assign("p", A.AddrOf(self.pick([RACE_VAR, "s"])))]
+        if kind == "deref_write":
+            return [A.DerefAssign("p", self.gen_expr())]
+        if kind == "deref_read":
+            if self.locals:
+                return [A.Assign(self.pick(self.locals), A.Deref("p"))]
+            return [A.Assign("s", A.Deref("p"))]
+        if kind == "return":
+            return [A.Return()]
+        raise AssertionError(kind)
+
+    # -- curated access patterns -------------------------------------------
+
+    def access_pattern(self) -> list[A.Stmt]:
+        """One interesting access to the race candidate.
+
+        Mirrors the idioms of the paper: a raw toggle (racy), a
+        guard-protected write (racy -- the guard itself races), an
+        atomic toggle, a lock-protected toggle, and the Figure 1
+        flag-monitor (safe, but flagged by lockset-style baselines).
+        """
+        toggle = A.Assign(RACE_VAR, T.sub(T.num(1), T.var(RACE_VAR)))
+        pool: list[tuple[list[A.Stmt], float]] = [
+            ([toggle], 2.0),
+            (
+                [
+                    A.If(
+                        T.eq(T.var("s"), T.num(0)),
+                        A.Block((A.Assign(RACE_VAR, T.num(1)),)),
+                        A.Block((A.Assign(RACE_VAR, T.num(0)),)),
+                    )
+                ],
+                1.2,
+            ),
+            ([A.Atomic(A.Block((toggle,)))], 1.6),
+        ]
+        if self.use_locks:
+            pool.append(([A.Lock("m"), toggle, A.Unlock("m")], 1.6))
+        if self.use_monitor:
+            pool.append(
+                (
+                    [
+                        A.Atomic(
+                            A.Block(
+                                (
+                                    A.Assume(T.eq(T.var("f"), T.num(0))),
+                                    A.Assign("f", T.num(1)),
+                                )
+                            )
+                        ),
+                        toggle,
+                        A.Assign("f", T.num(0)),
+                    ],
+                    1.6,
+                )
+            )
+        if self.use_pointers:
+            pool.append(
+                (
+                    [
+                        A.Assign("p", A.AddrOf(RACE_VAR)),
+                        A.DerefAssign("p", T.num(1)),
+                    ],
+                    1.2,
+                )
+            )
+        choices = [c for c, _ in pool]
+        weights = [w for _, w in pool]
+        return list(self.rng.choices(choices, weights=weights, k=1)[0])
+
+    # -- assembly -----------------------------------------------------------
+
+    def gen_thread(self, name: str) -> A.ThreadDef:
+        self.locals = []
+        self.local_counter = 0
+        self.loop_depth = 0
+        self.atomic_depth = 0
+        self.lock_held = False
+        self.monitor_held = False
+
+        stmts: list[A.Stmt] = []
+        if self.use_pointers:
+            # Seed the points-to set so derefs have a live target.
+            stmts.append(A.Assign("p", A.AddrOf(self.pick([RACE_VAR, "s"]))))
+        n = self.rng.randint(2, self.cfg.max_top_stmts)
+        for _ in range(n):
+            stmts.extend(self.gen_stmt(self.cfg.max_depth))
+        # Splice the curated access pattern at a random position so the
+        # race candidate is always genuinely exercised -- before any
+        # top-level return, whose tail the lowering prunes as dead code.
+        limit = len(stmts)
+        for idx, s in enumerate(stmts):
+            if isinstance(s, A.Return):
+                limit = idx
+                break
+        at = self.rng.randint(0, limit)
+        stmts[at:at] = self.access_pattern()
+        body: A.Stmt = A.Block(tuple(stmts))
+        if self.chance(0.5):
+            # The paper's programs are reactive loops.
+            body = A.Block((A.While(A.NONDET, body),))
+        if not isinstance(body, A.Block):
+            body = A.Block((body,))
+        return A.ThreadDef(name, body)
+
+    def gen_program(self) -> A.Program:
+        self.gen_functions()
+        globals_: list[A.GlobalDecl] = [
+            A.GlobalDecl(RACE_VAR, self.pick([0, 1])),
+            A.GlobalDecl("s", 0),
+        ]
+        if self.use_monitor:
+            globals_.append(A.GlobalDecl("f", 0))
+        if self.use_locks:
+            globals_.append(A.GlobalDecl("m", 0))
+        if self.use_pointers:
+            globals_.append(A.GlobalDecl("p", 0, pointer=True))
+        threads = tuple(
+            self.gen_thread(f"t{i}") for i in range(self.cfg.n_threads)
+        )
+        return A.Program(tuple(globals_), tuple(self.functions), threads)
+
+
+def generate(seed: int, config: GenConfig = DEFAULT_CONFIG) -> GeneratedProgram:
+    """Generate one well-formed random program, deterministically."""
+    rng = random.Random(seed)
+    program = _Gen(rng, config).gen_program()
+    return GeneratedProgram(
+        seed=seed,
+        config=config,
+        program=program,
+        source=unparse(program),
+    )
+
+
+# -- introspection ------------------------------------------------------------
+
+
+def _walk_stmts(stmt: A.Stmt):
+    yield stmt
+    if isinstance(stmt, A.Block):
+        for s in stmt.stmts:
+            yield from _walk_stmts(s)
+    elif isinstance(stmt, A.If):
+        yield from _walk_stmts(stmt.then)
+        if stmt.els is not None:
+            yield from _walk_stmts(stmt.els)
+    elif isinstance(stmt, A.While):
+        yield from _walk_stmts(stmt.body)
+    elif isinstance(stmt, A.Atomic):
+        yield from _walk_stmts(stmt.body)
+
+
+def _walk_terms(t: T.Term):
+    yield t
+    if isinstance(t, (T.Add, T.And, T.Or)):
+        for a in t.args:
+            yield from _walk_terms(a)
+    elif isinstance(t, (T.Sub, T.Mul, T.Cmp, T.Implies, T.Iff)):
+        yield from _walk_terms(t.lhs)
+        yield from _walk_terms(t.rhs)
+    elif isinstance(t, (T.Neg, T.Not)):
+        yield from _walk_terms(t.arg)
+
+
+def _stmt_terms(stmt: A.Stmt):
+    if isinstance(stmt, (A.Assign, A.DerefAssign)):
+        yield stmt.rhs
+    elif isinstance(stmt, A.LocalDecl) and stmt.init is not None:
+        yield stmt.init
+    elif isinstance(stmt, (A.AssignCall, A.CallStmt)):
+        yield from stmt.args
+    elif isinstance(stmt, (A.If, A.While, A.Assume, A.Assert)):
+        yield stmt.cond if not isinstance(stmt, A.While) else stmt.cond
+    elif isinstance(stmt, A.Return) and stmt.value is not None:
+        yield stmt.value
+
+
+def stmt_kinds(program: A.Program) -> frozenset[str]:
+    """The set of statement/expression markers a program exercises."""
+    kinds: set[str] = set()
+    if program.functions:
+        kinds.add("Function")
+        if any(f.returns_value for f in program.functions):
+            kinds.add("FunctionReturnValue")
+    bodies = [t.body for t in program.threads] + [
+        f.body for f in program.functions
+    ]
+    atomic_stack = 0
+
+    def visit(stmt: A.Stmt, in_atomic: int) -> None:
+        nonlocal atomic_stack
+        name = type(stmt).__name__
+        if isinstance(stmt, A.Block):
+            pass
+        elif isinstance(stmt, A.LocalDecl):
+            kinds.add("LocalDeclInit" if stmt.init is not None else "LocalDecl")
+        elif isinstance(stmt, A.If):
+            kinds.add("IfElse" if stmt.els is not None else "If")
+        elif isinstance(stmt, A.Atomic):
+            kinds.add("NestedAtomic" if in_atomic else "Atomic")
+        else:
+            kinds.add(name)
+        for t in _stmt_terms(stmt):
+            for sub in _walk_terms(t):
+                if isinstance(sub, A.Nondet):
+                    kinds.add("Nondet")
+                elif isinstance(sub, A.AddrOf):
+                    kinds.add("AddrOf")
+                elif isinstance(sub, A.Deref):
+                    kinds.add("Deref")
+                elif isinstance(sub, T.Mul):
+                    kinds.add("Mul")
+        inner = in_atomic + (1 if isinstance(stmt, A.Atomic) else 0)
+        if isinstance(stmt, A.Block):
+            for s in stmt.stmts:
+                visit(s, in_atomic)
+        elif isinstance(stmt, A.If):
+            visit(stmt.then, in_atomic)
+            if stmt.els is not None:
+                visit(stmt.els, in_atomic)
+        elif isinstance(stmt, A.While):
+            visit(stmt.body, in_atomic)
+        elif isinstance(stmt, A.Atomic):
+            visit(stmt.body, inner)
+
+    for body in bodies:
+        visit(body, 0)
+    return frozenset(kinds)
+
+
+# -- alpha-renaming -----------------------------------------------------------
+
+
+def _rename_term(t: T.Term, old: str, new: str) -> T.Term:
+    if isinstance(t, T.Var):
+        return T.var(new) if t.name == old else t
+    if isinstance(t, A.AddrOf):
+        return A.AddrOf(new) if t.name == old else t
+    if isinstance(t, A.Deref):
+        return A.Deref(new) if t.name == old else t
+    if isinstance(t, (A.Nondet, T.IntConst, T.BoolConst)):
+        return t
+    if isinstance(t, T.Add):
+        return T.Add(tuple(_rename_term(a, old, new) for a in t.args))
+    if isinstance(t, T.Sub):
+        return T.Sub(_rename_term(t.lhs, old, new), _rename_term(t.rhs, old, new))
+    if isinstance(t, T.Neg):
+        return T.Neg(_rename_term(t.arg, old, new))
+    if isinstance(t, T.Mul):
+        return T.Mul(_rename_term(t.lhs, old, new), _rename_term(t.rhs, old, new))
+    if isinstance(t, T.Cmp):
+        return T.Cmp(
+            t.op, _rename_term(t.lhs, old, new), _rename_term(t.rhs, old, new)
+        )
+    if isinstance(t, T.Not):
+        return T.Not(_rename_term(t.arg, old, new))
+    if isinstance(t, T.And):
+        return T.And(tuple(_rename_term(a, old, new) for a in t.args))
+    if isinstance(t, T.Or):
+        return T.Or(tuple(_rename_term(a, old, new) for a in t.args))
+    raise TypeError(f"cannot rename inside {t!r}")
+
+
+def _rename_stmt(stmt: A.Stmt, old: str, new: str) -> A.Stmt:
+    def rn(name: str) -> str:
+        return new if name == old else name
+
+    def rt(t: T.Term) -> T.Term:
+        return _rename_term(t, old, new)
+
+    if isinstance(stmt, A.Block):
+        return replace(
+            stmt, stmts=tuple(_rename_stmt(s, old, new) for s in stmt.stmts)
+        )
+    if isinstance(stmt, A.LocalDecl):
+        return replace(
+            stmt,
+            name=rn(stmt.name),
+            init=rt(stmt.init) if stmt.init is not None else None,
+        )
+    if isinstance(stmt, A.Assign):
+        return replace(stmt, lhs=rn(stmt.lhs), rhs=rt(stmt.rhs))
+    if isinstance(stmt, A.AssignCall):
+        return replace(
+            stmt, lhs=rn(stmt.lhs), args=tuple(rt(a) for a in stmt.args)
+        )
+    if isinstance(stmt, A.CallStmt):
+        return replace(stmt, args=tuple(rt(a) for a in stmt.args))
+    if isinstance(stmt, A.DerefAssign):
+        return replace(stmt, pointer=rn(stmt.pointer), rhs=rt(stmt.rhs))
+    if isinstance(stmt, A.If):
+        return replace(
+            stmt,
+            cond=rt(stmt.cond),
+            then=_rename_stmt(stmt.then, old, new),
+            els=_rename_stmt(stmt.els, old, new)
+            if stmt.els is not None
+            else None,
+        )
+    if isinstance(stmt, A.While):
+        return replace(
+            stmt, cond=rt(stmt.cond), body=_rename_stmt(stmt.body, old, new)
+        )
+    if isinstance(stmt, A.Atomic):
+        body = _rename_stmt(stmt.body, old, new)
+        assert isinstance(body, A.Block)
+        return replace(stmt, body=body)
+    if isinstance(stmt, (A.Assume, A.Assert)):
+        return replace(stmt, cond=rt(stmt.cond))
+    if isinstance(stmt, (A.Lock, A.Unlock)):
+        return replace(stmt, mutex=rn(stmt.mutex))
+    if isinstance(stmt, A.Return):
+        return replace(
+            stmt, value=rt(stmt.value) if stmt.value is not None else None
+        )
+    if isinstance(stmt, (A.Skip, A.Break)):
+        return stmt
+    raise TypeError(f"cannot rename inside {stmt!r}")
+
+
+def rename_variable(program: A.Program, old: str, new: str) -> A.Program:
+    """Alpha-rename one variable (global or local) across a program.
+
+    The caller is responsible for picking a fresh ``new`` name; the
+    rename is purely syntactic and applies to declarations, lvalues,
+    pointer targets, and every expression occurrence.
+    """
+    globals_ = tuple(
+        replace(g, name=new) if g.name == old else g for g in program.globals
+    )
+    functions = tuple(
+        replace(
+            f,
+            params=tuple(new if p == old else p for p in f.params),
+            body=_rename_stmt(f.body, old, new),
+        )
+        for f in program.functions
+    )
+    threads = tuple(
+        replace(t, body=_rename_stmt(t.body, old, new))
+        for t in program.threads
+    )
+    for t in threads:
+        assert isinstance(t.body, A.Block)
+    return A.Program(globals_, functions, threads)

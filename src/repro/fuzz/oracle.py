@@ -1,0 +1,254 @@
+"""Reference oracle: explicit-state race checking with bound certificates.
+
+The oracle decides race/no-race for a generated program by machinery that
+shares *no code path* with the verdicts under test (``circ``, the static
+prefilter, the batch engine, the baselines): random-schedule simulation
+and breadth-first exhaustive exploration from :mod:`repro.exec`, plus the
+Appendix A counter abstraction from :mod:`repro.parametric.finite`.
+
+Every ``safe`` verdict carries a :class:`BoundCertificate` stating exactly
+how far it can be trusted:
+
+* a *bounded* certificate means every interleaving of up to
+  ``max_threads`` identical threads was enumerated (within ``max_states``
+  states per bound).  By the monotonicity of races in the thread count --
+  an extra thread parked at the (never atomic) initial location only adds
+  enabled accesses -- safety at bound ``n`` implies safety at every
+  ``n' <= n``, so the certificate covers the whole range.
+* an *unbounded* certificate means the counter abstraction ``(T, k)`` of
+  ``T``^infinity has no reachable abstract race state, over value domains
+  proved closed under every assignment by a flow-insensitive fixpoint.
+  Because the domains over-approximate every reachable valuation, the
+  dropped out-of-domain transitions are unreachable, and the abstract
+  proof is sound for *every* thread count.
+
+Counter-abstraction *race* traces are never trusted (OMEGA saturation can
+fabricate them); only its safety proofs are used.  A ``budget`` verdict
+means not even the smallest bound completed -- the oracle abstains.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..cfa.cfa import CFA, AssignOp
+from ..exec.interp import MultiProgram, explore, replay
+from ..exec.simulate import simulate
+from ..lang import ast as A
+from ..lang.lower import lower_thread
+from ..parametric.finite import CounterProgram, FiniteThread
+from ..smt.terms import evaluate, free_vars
+
+__all__ = ["BoundCertificate", "OracleVerdict", "oracle_check", "infer_domains"]
+
+#: Product-space guard for the unbounded certificate: skip the counter
+#: abstraction when the enumerated global-state space would be larger.
+_MAX_DOMAIN_PRODUCT = 20_000
+
+
+@dataclass(frozen=True)
+class BoundCertificate:
+    """How far an oracle ``safe`` verdict can be trusted.
+
+    ``max_threads`` is the largest thread count whose interleavings were
+    exhaustively enumerated (0 when only the unbounded proof applies);
+    ``unbounded`` marks a counter-abstraction proof valid for every
+    thread count.
+    """
+
+    max_threads: int
+    max_states: int
+    unbounded: bool = False
+
+    def covers(self, n_threads: int) -> bool:
+        """Is a race claim with ``n_threads`` threads inside this bound?"""
+        return self.unbounded or n_threads <= self.max_threads
+
+    def describe(self) -> str:
+        if self.unbounded:
+            return "unbounded (counter abstraction)"
+        return f"up to {self.max_threads} thread(s), {self.max_states} states/bound"
+
+
+@dataclass(frozen=True)
+class OracleVerdict:
+    """The oracle's answer for one (program, thread, variable) query.
+
+    ``verdict`` is ``race`` (a replayed concrete witness exists),
+    ``safe`` (no race within ``certificate``), or ``budget`` (the oracle
+    could not complete even the smallest bound).
+    """
+
+    verdict: str
+    certificate: BoundCertificate | None = None
+    n_threads: int = 0
+    steps: tuple = ()
+    states_explored: int = 0
+    detail: str = ""
+
+    @property
+    def is_race(self) -> bool:
+        return self.verdict == "race"
+
+    @property
+    def is_safe(self) -> bool:
+        return self.verdict == "safe"
+
+
+def infer_domains(
+    cfa: CFA, cap_values: int = 64, cap_iters: int = 50
+) -> dict[str, frozenset[int]] | None:
+    """Flow-insensitively over-approximate each global's value set.
+
+    Starting from the initial values, repeatedly evaluates every
+    assignment right-hand side over the product of the current domains
+    and adds the results to the target's domain, until a fixpoint.  The
+    result is closed under every program assignment, hence contains all
+    reachable valuations (a sound domain for
+    :meth:`FiniteThread.from_cfa`).  Returns None when a domain exceeds
+    ``cap_values`` or the fixpoint does not settle within ``cap_iters``
+    rounds -- i.e. the program is (or looks) unbounded.
+    """
+    domains: dict[str, set[int]] = {
+        g: {cfa.global_init.get(g, 0)} for g in cfa.globals
+    }
+    assigns = [
+        e.op
+        for e in cfa.edges
+        if isinstance(e.op, AssignOp) and e.op.lhs in domains
+    ]
+    for _ in range(cap_iters):
+        changed = False
+        for op in assigns:
+            rhs_vars = sorted(free_vars(op.rhs))
+            if any(v not in domains for v in rhs_vars):
+                return None  # reads a local: not Appendix A territory
+            spaces = [sorted(domains[v]) for v in rhs_vars]
+            target = domains[op.lhs]
+            for values in itertools.product(*spaces):
+                val = evaluate(op.rhs, dict(zip(rhs_vars, values)))
+                if val not in target:
+                    target.add(int(val))
+                    changed = True
+            if len(target) > cap_values:
+                return None
+        if not changed:
+            return {k: frozenset(v) for k, v in domains.items()}
+    return None
+
+
+def _unbounded_safe(cfa: CFA, race_var: str, max_states: int) -> bool:
+    """Try to prove safety for every thread count via ``(T, k)``."""
+    if cfa.locals:
+        return False
+    domains = infer_domains(cfa)
+    if domains is None:
+        return False
+    product = 1
+    for d in domains.values():
+        product *= len(d)
+        if product > _MAX_DOMAIN_PRODUCT:
+            return False
+    thread = FiniteThread.from_cfa(
+        cfa, {name: sorted(dom) for name, dom in domains.items()}
+    )
+    counter = CounterProgram(thread, k=1)
+    try:
+        trace = counter.find_counterexample(
+            lambda s: counter.is_race_state(s, race_var),
+            max_states=max_states,
+        )
+    except RuntimeError:
+        return False
+    # A trace here may be spurious (OMEGA); only its absence is used.
+    return trace is None
+
+
+def oracle_check(
+    program: A.Program,
+    thread: str = "t0",
+    race_var: str = "x",
+    max_threads: int = 3,
+    max_states: int = 60_000,
+    sim_runs: int = 30,
+    sim_seed: int = 0,
+) -> OracleVerdict:
+    """Decide race/no-race for ``race_var`` in ``thread`` of ``program``.
+
+    Strategy: a cheap random-schedule simulation first (any witness it
+    stumbles into is genuine and replayed to be sure), then exhaustive
+    breadth-first exploration for 1..``max_threads`` identical threads,
+    then an attempt to upgrade the bounded certificate to an unbounded
+    one through the counter abstraction.
+    """
+    cfa = lower_thread(program, thread)
+    states_explored = 0
+
+    # Fast path: random schedules at the largest bound.
+    sim_n = min(2, max_threads)
+    sim = simulate(
+        MultiProgram.symmetric(cfa, sim_n),
+        race_on=race_var,
+        runs=sim_runs,
+        seed=sim_seed,
+    )
+    if sim.found:
+        mp = MultiProgram.symmetric(cfa, sim_n)
+        ok, _ = replay(mp, sim.witness.steps, race_on=race_var)
+        if ok:
+            return OracleVerdict(
+                verdict="race",
+                n_threads=sim_n,
+                steps=tuple(sim.witness.steps),
+                states_explored=sim.steps_total,
+                detail="simulation witness (replayed)",
+            )
+
+    # Exhaustive bounded exploration, smallest bound first.
+    complete_up_to = 0
+    for n in range(1, max_threads + 1):
+        mp = MultiProgram.symmetric(cfa, n)
+        result = explore(mp, race_on=race_var, max_states=max_states)
+        states_explored += result.visited
+        if result.found:
+            ok, _ = replay(mp, result.witness.steps, race_on=race_var)
+            return OracleVerdict(
+                verdict="race",
+                n_threads=n,
+                steps=tuple(result.witness.steps),
+                states_explored=states_explored,
+                detail="exploration witness"
+                + (" (replayed)" if ok else " (REPLAY FAILED)"),
+            )
+        if not result.complete:
+            break  # larger bounds only have more states
+        complete_up_to = n
+
+    if complete_up_to == 0:
+        return OracleVerdict(
+            verdict="budget",
+            states_explored=states_explored,
+            detail=f"bound 1 exceeded {max_states} states",
+        )
+
+    if _unbounded_safe(cfa, race_var, max_states):
+        return OracleVerdict(
+            verdict="safe",
+            certificate=BoundCertificate(
+                max_threads=complete_up_to,
+                max_states=max_states,
+                unbounded=True,
+            ),
+            states_explored=states_explored,
+            detail="counter abstraction proves every thread count",
+        )
+    return OracleVerdict(
+        verdict="safe",
+        certificate=BoundCertificate(
+            max_threads=complete_up_to, max_states=max_states
+        ),
+        states_explored=states_explored,
+        detail=f"exhaustive up to {complete_up_to} thread(s)",
+    )

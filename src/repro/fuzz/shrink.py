@@ -1,0 +1,179 @@
+"""Delta-debugging shrinker for failing fuzz programs.
+
+Greedy ddmin-style minimization at the AST level: repeatedly try the
+candidate edits below, keep any candidate on which ``predicate`` still
+holds (still fails the same way), and stop at a fixpoint where no
+single edit preserves the failure.
+
+Edit vocabulary, coarsest first:
+
+* drop a whole thread template, function, or global declaration;
+* drop a statement (anywhere in a thread or function body);
+* unwrap a compound: replace an ``if``/``while``/``atomic``/nested
+  block by (one of) its bodies;
+* simplify: drop an ``else`` branch, turn a condition into ``*``.
+
+Every accepted candidate is round-tripped through
+``parse(unparse(...))`` so the minimized program is guaranteed to be
+*parseable source*, not just a well-typed AST -- the committed corpus
+stores source text, and the reproducer must fail from that text.
+Candidates that fail to unparse, re-parse, or satisfy the predicate
+are discarded; the predicate is expected to absorb lowering errors
+(e.g. after a global's declaration was dropped) by returning False.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator
+
+from ..lang import ast as A
+from ..lang.parser import parse_program
+from ..lang.unparse import unparse
+
+__all__ = ["shrink"]
+
+
+def _stmt_variants(stmt: A.Stmt) -> Iterator[A.Stmt | None]:
+    """Local replacements for one statement; None means delete it."""
+    yield None
+    if isinstance(stmt, A.If):
+        yield stmt.then
+        if stmt.els is not None:
+            yield stmt.els
+            yield replace(stmt, els=None)
+    elif isinstance(stmt, A.While):
+        yield stmt.body
+        if not isinstance(stmt.cond, A.Nondet):
+            yield replace(stmt, cond=A.NONDET)
+    elif isinstance(stmt, A.Atomic):
+        yield stmt.body
+    elif isinstance(stmt, A.Block) and len(stmt.stmts) == 1:
+        yield stmt.stmts[0]
+
+
+def _block_candidates(block: A.Block) -> Iterator[A.Block]:
+    """All blocks one edit away from ``block`` (recursively)."""
+    for i, stmt in enumerate(block.stmts):
+        for variant in _stmt_variants(stmt):
+            if variant is None:
+                yield replace(
+                    block, stmts=block.stmts[:i] + block.stmts[i + 1 :]
+                )
+            else:
+                yield replace(
+                    block,
+                    stmts=block.stmts[:i] + (variant,) + block.stmts[i + 1 :],
+                )
+        # Recurse into compound children.
+        if isinstance(stmt, A.Block):
+            for sub in _block_candidates(stmt):
+                yield replace(
+                    block,
+                    stmts=block.stmts[:i] + (sub,) + block.stmts[i + 1 :],
+                )
+        elif isinstance(stmt, (A.Atomic, A.While)):
+            if isinstance(stmt.body, A.Block):
+                for sub in _block_candidates(stmt.body):
+                    yield replace(
+                        block,
+                        stmts=block.stmts[:i]
+                        + (replace(stmt, body=sub),)
+                        + block.stmts[i + 1 :],
+                    )
+        elif isinstance(stmt, A.If):
+            if isinstance(stmt.then, A.Block):
+                for sub in _block_candidates(stmt.then):
+                    yield replace(
+                        block,
+                        stmts=block.stmts[:i]
+                        + (replace(stmt, then=sub),)
+                        + block.stmts[i + 1 :],
+                    )
+            if isinstance(stmt.els, A.Block):
+                for sub in _block_candidates(stmt.els):
+                    yield replace(
+                        block,
+                        stmts=block.stmts[:i]
+                        + (replace(stmt, els=sub),)
+                        + block.stmts[i + 1 :],
+                    )
+
+
+def _candidates(program: A.Program) -> Iterator[A.Program]:
+    """All programs one edit away from ``program``, coarsest edits first."""
+    # Whole-unit removals: threads, functions, globals.
+    if len(program.threads) > 1:
+        for i in range(len(program.threads)):
+            yield replace(
+                program,
+                threads=program.threads[:i] + program.threads[i + 1 :],
+            )
+    for i in range(len(program.functions)):
+        yield replace(
+            program,
+            functions=program.functions[:i] + program.functions[i + 1 :],
+        )
+    for i in range(len(program.globals)):
+        yield replace(
+            program, globals=program.globals[:i] + program.globals[i + 1 :]
+        )
+    # Statement-level edits inside every thread and function body.
+    for i, thread in enumerate(program.threads):
+        for body in _block_candidates(thread.body):
+            yield replace(
+                program,
+                threads=program.threads[:i]
+                + (replace(thread, body=body),)
+                + program.threads[i + 1 :],
+            )
+    for i, func in enumerate(program.functions):
+        for body in _block_candidates(func.body):
+            yield replace(
+                program,
+                functions=program.functions[:i]
+                + (replace(func, body=body),)
+                + program.functions[i + 1 :],
+            )
+
+
+def _canonicalize(program: A.Program) -> A.Program | None:
+    """Round-trip through source text; None when not representable."""
+    try:
+        source = unparse(program)
+        return parse_program(source)
+    except Exception:  # noqa: BLE001 -- any failure just rejects the edit
+        return None
+
+
+def shrink(
+    program: A.Program,
+    predicate: Callable[[A.Program], bool],
+    max_steps: int = 400,
+) -> A.Program:
+    """Minimize ``program`` while ``predicate`` keeps holding.
+
+    Greedy first-improvement descent to a 1-edit-minimal fixpoint: the
+    result still satisfies ``predicate``, and no single candidate edit
+    does.  ``max_steps`` bounds the number of *accepted* edits (each
+    accepted edit strictly shrinks the AST, so termination does not
+    depend on it in practice).
+    """
+    current = _canonicalize(program) or program
+    for _ in range(max_steps):
+        improved = False
+        for candidate in _candidates(current):
+            canonical = _canonicalize(candidate)
+            if canonical is None:
+                continue
+            try:
+                keeps_failing = predicate(canonical)
+            except Exception:  # noqa: BLE001
+                keeps_failing = False
+            if keeps_failing:
+                current = canonical
+                improved = True
+                break
+        if not improved:
+            break
+    return current

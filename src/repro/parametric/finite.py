@@ -14,7 +14,7 @@ where ``s`` valuates the globals and ``Gamma`` counts threads per pc.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 
 from ..cfa.cfa import CFA, AssignOp, AssumeOp
@@ -35,9 +35,16 @@ def _freeze(env: Mapping[str, int]) -> GlobalState:
 class FiniteThread:
     """An explicit finite-state thread ``(delta, At)``.
 
-    ``transitions`` maps ``(globals, pc)`` to the successor set; ``atomic``
-    holds the (globals, pc) pairs where the thread is atomic (per the
-    paper's At predicate; for CFA-derived threads this depends only on pc).
+    ``transitions`` maps ``(globals, pc)`` to the successor set.  The
+    paper's At predicate ranges over full states, but for CFA-derived
+    threads atomicity depends only on the pc, so it is represented as
+    the pc set ``atomic_pcs`` and queried through :meth:`is_atomic`.
+
+    ``writes`` / ``accesses`` record, per pc, which variables an
+    out-edge of that pc may write or touch; they let clients state
+    location-level predicates (Section 4.1 races) over abstract states
+    without going back to the CFA.  Both default to empty for threads
+    built by hand.
     """
 
     variables: tuple[str, ...]
@@ -46,6 +53,8 @@ class FiniteThread:
     initial_pc: int
     transitions: dict[tuple[GlobalState, int], frozenset[tuple[GlobalState, int]]]
     atomic_pcs: frozenset[int]
+    writes: Mapping[int, frozenset[str]] = field(default_factory=dict)
+    accesses: Mapping[int, frozenset[str]] = field(default_factory=dict)
 
     def successors(
         self, globals_: GlobalState, pc: int
@@ -53,7 +62,18 @@ class FiniteThread:
         return self.transitions.get((globals_, pc), frozenset())
 
     def is_atomic(self, pc: int) -> bool:
+        """Is a thread at ``pc`` inside an atomic section?
+
+        This is the paper's At predicate specialized to CFA-derived
+        threads, where atomicity is a property of the location alone.
+        """
         return pc in self.atomic_pcs
+
+    def may_write(self, pc: int, x: str) -> bool:
+        return x in self.writes.get(pc, frozenset())
+
+    def may_access(self, pc: int, x: str) -> bool:
+        return x in self.accesses.get(pc, frozenset())
 
     @classmethod
     def from_cfa(
@@ -117,6 +137,8 @@ class FiniteThread:
                 key: frozenset(value) for key, value in transitions.items()
             },
             atomic_pcs=frozenset(cfa.atomic),
+            writes={q: cfa.writes_at(q) for q in cfa.locations},
+            accesses={q: cfa.accesses_at(q) for q in cfa.locations},
         )
 
 
@@ -162,6 +184,31 @@ class CounterProgram:
         return any(
             self.thread.is_atomic(pc) for pc in self.occupied_pcs(state)
         )
+
+    def is_race_state(self, state: CounterState, x: str) -> bool:
+        """The Section 4.1 race predicate lifted to counter states.
+
+        Two *distinct* threads must have enabled accesses to ``x`` with
+        at least one write, and no thread may sit at an atomic location.
+        In the counter abstraction "two distinct threads" means either
+        two different occupied pcs, or a single pc whose count exceeds
+        one (OMEGA counts as many).  Because counts over-approximate the
+        concrete thread population, absence of abstract race states is a
+        sound safety proof for every thread count.
+        """
+        if self.is_atomic_state(state):
+            return False
+        occupied = self.occupied_pcs(state)
+        writers = [pc for pc in occupied if self.thread.may_write(pc, x)]
+        accessors = [pc for pc in occupied if self.thread.may_access(pc, x)]
+        for w in writers:
+            for a in accessors:
+                if a != w:
+                    return True
+            count = self.count(state, w)
+            if count is OMEGA or count > 1:
+                return True
+        return False
 
     def successors(self, state: CounterState) -> Iterable[CounterState]:
         atomic = self.is_atomic_state(state)

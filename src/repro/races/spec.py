@@ -15,7 +15,7 @@ from __future__ import annotations
 
 
 from ..cfa.cfa import CFA
-from ..circ.circ import CircBudgetExceeded, circ
+from ..circ.circ import CircBudgetExceeded, CircInconclusive, circ
 from ..circ.result import CircResult
 from ..exec.interp import ExploreResult, MultiProgram, explore
 from ..lang.lower import lower_source
@@ -105,7 +105,7 @@ def check_race(
         return prefilter_check(cfa, variable, **circ_options)
     try:
         return circ(cfa, race_on=variable, **circ_options)
-    except CircBudgetExceeded as exc:
+    except (CircBudgetExceeded, CircInconclusive) as exc:
         return exc.result
 
 

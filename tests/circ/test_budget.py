@@ -60,3 +60,40 @@ def test_check_race_returns_unknown_instead_of_raising():
 def test_check_race_engine_path_returns_unknown():
     result = check_race(TAS, "x", engine=True, max_iterations=1)
     assert isinstance(result, CircUnknown)
+
+
+def test_inconclusive_is_a_circ_error_carrying_unknown():
+    # Fuzzer-found (generator seed 55): when refinement stalls and the
+    # bounded concrete fallback is inconclusive, circ() must surface a
+    # typed CircError with an unwrappable CircUnknown -- never leak the
+    # internal RefinementFailure (callers treated that as a crash).
+    from repro.circ import CircError, CircInconclusive
+    from repro.circ.result import CircStats
+
+    unknown = CircUnknown(
+        variable="x",
+        reason="abstract race could not be realized or refuted",
+        predicates=(),
+        stats=CircStats(),
+    )
+    exc = CircInconclusive(unknown)
+    assert isinstance(exc, CircError)
+    assert exc.result is unknown
+    assert "realized or refuted" in str(exc)
+
+
+def test_check_race_unwraps_inconclusive(monkeypatch):
+    from repro.circ import CircInconclusive
+    from repro.circ.result import CircStats
+    from repro.races import spec
+
+    unknown = CircUnknown(
+        variable="x", reason="stalled", predicates=(), stats=CircStats()
+    )
+
+    def stalling_circ(cfa, race_on=None, **kw):
+        raise CircInconclusive(unknown)
+
+    monkeypatch.setattr(spec, "circ", stalling_circ)
+    result = check_race(TAS, "x")
+    assert result is unknown

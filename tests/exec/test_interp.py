@@ -187,3 +187,14 @@ def test_mismatched_globals_rejected():
     b = lower_source("global int h; thread m { h = 1; }")
     with pytest.raises(ValueError):
         MultiProgram([a, b])
+
+
+def test_deadline_exhaustion_reports_incomplete():
+    # A deadline in the past stops the exploration immediately; like the
+    # state budget, truncation is reported as incomplete, never as a
+    # (vacuous) safety claim.
+    cfa = lower_source("global int g; thread m { while (1) { g = g + 1; } }")
+    p = MultiProgram.symmetric(cfa, 1)
+    result = explore(p, race_on="g", deadline=0.0)
+    assert not result.complete
+    assert result.witness is None

@@ -39,6 +39,30 @@ def test_counts_deadlocks():
     assert result.deadlocks == 5
 
 
+def test_terminated_runs_are_not_deadlocks():
+    # Straight-line program: every thread runs off the end of its CFA.
+    cfa = lower_source("global int g; thread t { g = 1; }")
+    mp = MultiProgram.symmetric(cfa, 2)
+    result = simulate(mp, runs=5, max_steps=50, seed=4)
+    assert not result.found
+    assert result.deadlocks == 0
+    assert result.terminations == 5
+
+
+def test_blocked_acquire_is_a_deadlock():
+    # The flag starts raised, so the monitor acquire's assume is never
+    # enabled: every thread still has an out-edge but none can move --
+    # a deadlock, not a termination.
+    cfa = lower_source(
+        "global int f = 1; thread t { atomic { assume(f == 0); f = 1; } }"
+    )
+    mp = MultiProgram.symmetric(cfa, 2)
+    result = simulate(mp, race_on="f", runs=4, max_steps=50, seed=5)
+    assert not result.found
+    assert result.terminations == 0
+    assert result.deadlocks == 4
+
+
 def test_deterministic_under_seed():
     cfa = lower_source("global int x; thread t { while (1) { x = 1 - x; } }")
     mp = MultiProgram.symmetric(cfa, 2)

@@ -1,0 +1,48 @@
+"""Replay every committed corpus reproducer through all verdict paths.
+
+Each ``tests/fuzz/corpus/*.minc`` file is a minimized program on which
+some verdict path once disagreed with the oracle.  The committed corpus
+must contain only *logged*-class disagreements (incompleteness, budget):
+a hard-class reproducer means the checker is broken and must be fixed,
+not committed.  Replaying asserts two things per file:
+
+* no path disagrees with the oracle in a hard class today (agreement on
+  everything that matters), and
+* the recorded logged disagreement still reproduces -- the corpus stays
+  an honest catalogue of known precision gaps, not a stale one.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.diff import HARD_CLASSES, check_one, parse_corpus_entry
+from repro.lang.parser import parse_program
+
+CORPUS = sorted((Path(__file__).parent / "corpus").glob("*.minc"))
+
+
+def test_corpus_is_populated():
+    assert len(CORPUS) >= 5
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.name)
+def test_corpus_entry_is_logged_class_with_metadata(path):
+    meta = parse_corpus_entry(path.read_text())
+    assert {"path", "classification", "tool", "oracle"} <= meta.keys()
+    assert meta["classification"] not in HARD_CLASSES
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.name)
+def test_corpus_reproducer_replays_without_hard_disagreement(path):
+    text = path.read_text()
+    meta = parse_corpus_entry(text)
+    outcome = check_one(parse_program(text))
+    hard = [d for d in outcome.disagreements if d.hard]
+    assert not hard, [(d.path, d.classification, d.detail) for d in hard]
+    # Every path produced a verdict (all four checker paths plus the
+    # two baselines ran to completion on the minimized program).
+    assert all(p.verdict in {"race", "safe", "unknown"} for p in outcome.paths)
+    # The recorded disagreement still reproduces.
+    reproduced = {(d.path, d.classification) for d in outcome.disagreements}
+    assert (meta["path"], meta["classification"]) in reproduced

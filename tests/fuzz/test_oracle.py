@@ -1,0 +1,98 @@
+"""Unit tests for the explicit-state oracle and its bound certificates."""
+
+from repro.fuzz.oracle import BoundCertificate, infer_domains, oracle_check
+from repro.lang.lower import lower_source
+from repro.lang.parser import parse_program
+
+
+def check(source: str, **kw):
+    return oracle_check(parse_program(source), thread="t0", **kw)
+
+
+def test_unprotected_toggle_races():
+    v = check("global int x; thread t0 { while (*) { x = 1 - x; } }")
+    assert v.is_race
+    assert v.steps  # the witness replayed (oracle validates internally)
+
+
+def test_atomic_toggle_is_safe_unbounded():
+    v = check("global int x; thread t0 { while (*) { atomic { x = 1 - x; } } }")
+    assert v.is_safe
+    assert v.certificate.unbounded
+    assert v.certificate.covers(10_000)
+
+
+def test_monitor_idiom_is_safe():
+    v = check(
+        """
+        global int x; global int f;
+        thread t0 {
+          while (*) {
+            atomic { assume(f == 0); f = 1; }
+            x = 1 - x;
+            f = 0;
+          }
+        }
+        """
+    )
+    assert v.is_safe
+    assert v.certificate.unbounded
+
+
+def test_guarded_write_still_races():
+    # The guard read and the guarded write are not atomic together.
+    v = check(
+        """
+        global int x; global int s;
+        thread t0 { while (*) { if (s == 0) { x = 1; } else { x = 0; } } }
+        """
+    )
+    assert v.is_race
+
+
+def test_unbounded_values_hit_budget():
+    # x grows without bound: no exploration bound completes and no
+    # finite domain exists, so the oracle abstains rather than guesses.
+    v = check(
+        "global int x; thread t0 { while (*) { atomic { x = x + 1; } } }",
+        max_states=5_000,
+    )
+    assert v.verdict == "budget"
+    assert v.certificate is None
+
+
+def test_bounded_certificate_covers_monotonically():
+    cert = BoundCertificate(max_threads=3, max_states=1000)
+    assert cert.covers(1) and cert.covers(3)
+    assert not cert.covers(4)
+    assert BoundCertificate(0, 0, unbounded=True).covers(4)
+
+
+def test_local_variables_block_unbounded_certificate():
+    # Locals are outside Appendix A; the oracle still answers, but only
+    # with a bounded certificate.
+    v = check(
+        """
+        global int x;
+        thread t0 { local int l = 0; while (*) { atomic { x = l; } } }
+        """
+    )
+    assert v.is_safe
+    assert not v.certificate.unbounded
+    assert v.certificate.max_threads >= 2
+
+
+def test_infer_domains_closed_under_assignments():
+    cfa = lower_source(
+        "global int x; thread t0 { while (*) { x = 1 - x; } }"
+    )
+    domains = infer_domains(cfa)
+    assert domains is not None
+    assert domains["x"] == frozenset({0, 1})
+
+
+def test_infer_domains_gives_up_on_unbounded():
+    cfa = lower_source(
+        "global int x; thread t0 { while (*) { x = x + 1; } }"
+    )
+    assert infer_domains(cfa) is None

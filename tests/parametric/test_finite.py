@@ -103,6 +103,71 @@ def test_atomic_scheduling_in_counter_program():
     assert cp.is_atomic_state(target)
 
 
+def test_access_maps_carried_over():
+    cfa = lower_source(TOGGLE)
+    ft = FiniteThread.from_cfa(cfa, {"g": [0, 1]})
+    writers = {pc for pc in ft.pcs if ft.may_write(pc, "g")}
+    accessors = {pc for pc in ft.pcs if ft.may_access(pc, "g")}
+    assert writers and writers <= accessors
+    for pc in ft.pcs:
+        assert ft.writes[pc] == cfa.writes_at(pc)
+        assert ft.accesses[pc] == cfa.accesses_at(pc)
+
+
+def test_access_maps_default_empty():
+    # Hand-built threads predating the access maps still construct.
+    ft = FiniteThread(
+        variables=("g",),
+        pcs=frozenset({0}),
+        initial_globals=(("g", 0),),
+        initial_pc=0,
+        transitions={},
+        atomic_pcs=frozenset(),
+    )
+    assert not ft.may_write(0, "g")
+    assert not ft.may_access(0, "g")
+
+
+def test_counter_race_state_on_unprotected_toggle():
+    ft = toggle_thread()
+    cp = CounterProgram(ft, k=1)
+    trace = cp.find_counterexample(lambda s: cp.is_race_state(s, "g"))
+    assert trace is not None
+
+
+def test_counter_race_state_respects_atomicity():
+    cfa = lower_source(
+        "global int g; thread m { while (1) { atomic { g = 1 - g; } } }"
+    )
+    ft = FiniteThread.from_cfa(cfa, {"g": [0, 1]})
+    cp = CounterProgram(ft, k=1)
+    trace = cp.find_counterexample(lambda s: cp.is_race_state(s, "g"))
+    assert trace is None
+
+
+def test_counter_race_needs_two_threads_at_the_access():
+    # A same-pc self-race requires the pc's count to exceed one.
+    from repro.parametric.finite import CounterState
+
+    ft = FiniteThread(
+        variables=("g",),
+        pcs=frozenset({0, 1}),
+        initial_globals=(("g", 0),),
+        initial_pc=0,
+        transitions={},
+        atomic_pcs=frozenset(),
+        writes={0: frozenset({"g"})},
+        accesses={0: frozenset({"g"})},
+    )
+    cp = CounterProgram(ft, k=2)
+    one = CounterState((("g", 0),), (1, 0))
+    two = CounterState((("g", 0),), (2, 0))
+    many = CounterState((("g", 0),), (OMEGA, 0))
+    assert not cp.is_race_state(one, "g")
+    assert cp.is_race_state(two, "g")
+    assert cp.is_race_state(many, "g")
+
+
 def test_find_counterexample_none_for_invariant():
     ft = toggle_thread()
     cp = CounterProgram(ft, k=1)
