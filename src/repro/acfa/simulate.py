@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..smt import terms as T
+from ..smt.profile import stage
 from ..smt.solver import is_sat_conjunction
 from .acfa import Acfa
 
@@ -40,7 +41,8 @@ def label_entails(
             if not cache[key]:
                 return False
             continue
-        holds = not is_sat_conjunction(ante + [T.not_(lit)])
+        with stage("simulate"):
+            holds = not is_sat_conjunction(ante + [T.not_(lit)])
         if cache is not None:
             cache[key] = holds
         if not holds:

@@ -34,6 +34,7 @@ from ..acfa.simulate import simulation_relation
 from ..cfa.cfa import CFA
 from ..context.counters import OMEGA, ContextState, counter_dec, counter_inc
 from ..smt import terms as T
+from ..smt.profile import stage
 from ..smt.solver import is_sat_conjunction
 from .reach import ReachResult
 
@@ -124,6 +125,11 @@ def _graph_reachable(acfa: Acfa) -> frozenset[int]:
 def omega_check(reach: ReachResult, acfa: Acfa, cfa: CFA, k: int) -> bool:
     """Is the converged k-thread context sound for arbitrarily many
     threads?  (See module docstring.)"""
+    with stage("omega"):
+        return _omega_check(reach, acfa, cfa, k)
+
+
+def _omega_check(reach: ReachResult, acfa: Acfa, cfa: CFA, k: int) -> bool:
     if acfa.is_empty():
         return not acfa.edges
 

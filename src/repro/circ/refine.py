@@ -347,25 +347,29 @@ def _mine_wp_atoms(ct: ConcretizedTrace) -> list[T.Term]:
 def _useful_predicates(
     candidates: Iterable[T.Term], existing: Iterable[T.Term]
 ) -> list[T.Term]:
+    from ..smt.profile import stage
     from ..smt.simplify import fold_constants
     from ..smt.solver import is_sat_conjunction
 
     known = set(existing)
     out: list[T.Term] = []
-    for p in candidates:
-        p = fold_constants(p)
-        if not isinstance(p, T.Cmp):
-            continue
-        if not T.free_vars(p):
-            continue
-        if p in known or T.not_(p) in known:
-            continue
-        # Drop degenerate atoms (unsatisfiable or valid), e.g. the x == x+1
-        # artifacts of un-SSA-ing an assignment clause.
-        if not is_sat_conjunction([p]) or not is_sat_conjunction([T.not_(p)]):
-            continue
-        known.add(p)
-        out.append(p)
+    with stage("refine"):
+        for p in candidates:
+            p = fold_constants(p)
+            if not isinstance(p, T.Cmp):
+                continue
+            if not T.free_vars(p):
+                continue
+            if p in known or T.not_(p) in known:
+                continue
+            # Drop degenerate atoms (unsatisfiable or valid), e.g. the
+            # x == x+1 artifacts of un-SSA-ing an assignment clause.
+            if not is_sat_conjunction([p]) or not is_sat_conjunction(
+                [T.not_(p)]
+            ):
+                continue
+            known.add(p)
+            out.append(p)
     return out
 
 

@@ -69,6 +69,39 @@ def _load(path: str, thread: str | None):
     return lower_source(source, thread)
 
 
+def _print_smt_stats() -> None:
+    from .smt.profile import PROFILER
+    from .smt.qcache import SAT_CACHE
+    from .smt.session import default_session
+
+    print("\nSMT query profile (per stage):")
+    print(
+        f"  {'stage':10s} {'queries':>8s} {'sat':>7s} {'unsat':>7s} "
+        f"{'hits':>7s} {'t-confl':>8s} {'wall_s':>9s}"
+    )
+    rows = list(PROFILER.snapshot().items())
+    rows.append(("total", PROFILER.totals()))
+    for label, st in rows:
+        print(
+            f"  {label:10s} {st['queries']:>8d} {st['sat']:>7d} "
+            f"{st['unsat']:>7d} {st['cache_hits']:>7d} "
+            f"{st['theory_conflicts']:>8d} {st['wall_s']:>9.3f}"
+        )
+    cs = SAT_CACHE.stats()
+    print(
+        f"query cache: size {cs['size']}/{cs['maxsize']}, "
+        f"{cs['hits']} hits / {cs['misses']} misses, "
+        f"{cs['evictions']} evictions, {cs['warm_hits']} warm hits"
+    )
+    ss = default_session().stats.to_obj()
+    print(
+        f"incremental session: {ss['queries']} queries "
+        f"({ss['sat']} sat / {ss['unsat']} unsat), "
+        f"{ss['theory_conflicts']} theory conflicts, "
+        f"{ss['encode_hits']} encode hits, {ss['resets']} resets"
+    )
+
+
 def _cmd_check(args) -> int:
     cfa = _load(args.file, args.thread)
     variables = (
@@ -77,6 +110,10 @@ def _cmd_check(args) -> int:
     if not variables or variables == [None]:
         print("error: give --var NAME or --all", file=sys.stderr)
         return 2
+    if args.stats:
+        from .smt.profile import PROFILER
+
+        PROFILER.reset()
     if args.report:
         from .races.report import audit, render_markdown
 
@@ -89,6 +126,8 @@ def _cmd_check(args) -> int:
         )
         Path(args.report).write_text(render_markdown(report))
         print(f"wrote {args.report}")
+        if args.stats:
+            _print_smt_stats()
         return 1 if report.races else 0
     static_report = None
     if not args.no_prefilter:
@@ -143,6 +182,8 @@ def _cmd_check(args) -> int:
             )
             for tid, edge in result.steps:
                 print(f"    T{tid}: {edge.op}")
+    if args.stats:
+        _print_smt_stats()
     return status
 
 
@@ -497,6 +538,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--omega", action="store_true", help="use the infinity-check variant")
     p.add_argument("-k", type=int, default=1, help="initial counter bound")
     p.add_argument("-v", "--verbose", action="store_true")
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print solver-level profiling (per-stage queries, cache, session)",
+    )
     p.add_argument("--report", metavar="FILE", help="write a Markdown audit report")
     p.add_argument(
         "--no-prefilter",

@@ -109,6 +109,15 @@ class ArtifactCache:
         ).hexdigest()
         return self.root / "shapes" / key[:2] / f"{key}.json"
 
+    def smt_tier_path(self) -> Path:
+        """Where the persistent SMT verdict tier lives under this root.
+
+        The SMT query cache (:mod:`repro.smt.qcache`) keys entries by
+        canonical-formula digest, not slice digest, so one file per cache
+        root suffices -- verdicts are reusable across models and options.
+        """
+        return self.root / "smt" / "qcache.json"
+
     # -- objects -------------------------------------------------------------
 
     def get(self, digest: str, options_fp: str = "") -> CacheEntry | None:

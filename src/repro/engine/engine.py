@@ -26,6 +26,8 @@ from typing import Sequence
 from ..cfa.cfa import CFA
 from ..circ.circ import CircBudgetExceeded, CircInconclusive, circ
 from ..circ.result import CircResult
+from ..smt.profile import PROFILER
+from ..smt.qcache import SAT_CACHE
 from .cache import ArtifactCache
 from .digest import shape_key, slice_digest
 from .events import EventLog
@@ -87,6 +89,10 @@ def run_batch(
     cache = ArtifactCache(cache_dir) if cache_dir is not None else None
 
     events.emit("batch_started", items=len(items))
+    if cache is not None:
+        warmed = SAT_CACHE.load(cache.smt_tier_path())
+        if warmed:
+            events.emit("smt_warm_start", entries=warmed)
     the_plan = plan(
         items, options=circ_options, events=events, prefilter=prefilter
     )
@@ -111,6 +117,15 @@ def run_batch(
         n_static=len(the_plan.done),
         n_deduped=n_deduped,
         cache_stats=cache.stats() if cache is not None else {},
+    )
+    if cache is not None:
+        saved = SAT_CACHE.save(cache.smt_tier_path())
+        if saved:
+            events.emit("smt_tier_saved", entries=saved)
+    events.emit(
+        "smt_stats",
+        **{f"qcache_{k}": v for k, v in SAT_CACHE.stats().items()},
+        **{f"smt_{k}": v for k, v in PROFILER.totals().items()},
     )
     events.emit(
         "batch_summary",

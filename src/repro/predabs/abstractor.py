@@ -23,6 +23,8 @@ from typing import Iterable, Sequence
 from ..cfa.cfa import Op
 from ..cfa.ops import sp
 from ..smt import terms as T
+from ..smt.profile import stage
+from ..smt.qcache import LruCache
 from ..smt.solver import is_sat, is_sat_conjunction
 from .region import BOTTOM, PredicateSet, Region
 
@@ -74,12 +76,15 @@ class Abstractor:
       |P| in the worst case but exact.
     """
 
+    #: Bound on the per-instance region memo (LRU, instrumented).
+    CACHE_SIZE = 16_384
+
     def __init__(self, preds: PredicateSet, mode: str = "cartesian"):
         if mode not in ("cartesian", "boolean"):
             raise ValueError(f"unknown abstraction mode {mode!r}")
         self.preds = preds
         self.mode = mode
-        self._cache: dict[tuple, Region] = {}
+        self._cache: LruCache = LruCache(self.CACHE_SIZE)
         self.query_count = 0
 
     # -- the Abs.P operator ------------------------------------------------------
@@ -91,14 +96,15 @@ class Abstractor:
         if cached is not None:
             return cached
         self.query_count += 1
-        if not _query_sat(parts):
-            self._cache[key] = BOTTOM
-            return BOTTOM
-        if self.mode == "boolean":
-            region = self._abstract_boolean(parts)
-        else:
-            region = self._abstract_cartesian(parts)
-        self._cache[key] = region
+        with stage("predabs"):
+            if not _query_sat(parts):
+                self._cache.put(key, BOTTOM)
+                return BOTTOM
+            if self.mode == "boolean":
+                region = self._abstract_boolean(parts)
+            else:
+                region = self._abstract_cartesian(parts)
+        self._cache.put(key, region)
         return region
 
     def _abstract_cartesian(self, parts: Sequence[T.Term]) -> Region:

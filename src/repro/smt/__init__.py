@@ -7,9 +7,13 @@ and complete.
 """
 
 from .linear import LinEq, LinExpr, LinLe, NonLinearError, linearize, normalize_atom
+from .profile import PROFILER, stage
+from .qcache import LruCache, QueryCache, SAT_CACHE
+from .session import Session, default_session, reset_default_session
 from .solver import (
     SmtResult,
     Solver,
+    clear_conjunction_cache,
     entails,
     equivalent,
     get_model,

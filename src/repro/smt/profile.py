@@ -1,0 +1,144 @@
+"""Solver-level profiling: per-stage query counters and wall time.
+
+Every satisfiability query issued through :mod:`repro.smt.solver` (and the
+incremental :mod:`repro.smt.session`) is attributed to the *stage* that
+issued it -- the innermost :func:`stage` context active at call time.  The
+verifier's query-issuing layers annotate themselves (``predabs``,
+``simulate``, ``omega``, ``refine``); everything else lands in ``other``.
+
+The profiler is deliberately cheap: one dict lookup and a handful of
+integer adds per query, so it stays on permanently.  ``snapshot()``
+produces the flat structure the CLI's ``--stats`` table, the engine's
+JSONL telemetry, and ``bench_smt.py`` all consume.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = ["StageStats", "Profiler", "PROFILER", "stage", "current_stage"]
+
+#: Stage attributed to queries issued outside any annotated caller.
+DEFAULT_STAGE = "other"
+
+
+class StageStats:
+    """Counters for one query-issuing stage."""
+
+    __slots__ = (
+        "queries",
+        "sat",
+        "unsat",
+        "cache_hits",
+        "theory_conflicts",
+        "wall_s",
+    )
+
+    def __init__(self) -> None:
+        self.queries = 0
+        self.sat = 0
+        self.unsat = 0
+        self.cache_hits = 0
+        self.theory_conflicts = 0
+        self.wall_s = 0.0
+
+    def to_obj(self) -> dict[str, Any]:
+        return {
+            "queries": self.queries,
+            "sat": self.sat,
+            "unsat": self.unsat,
+            "cache_hits": self.cache_hits,
+            "theory_conflicts": self.theory_conflicts,
+            "wall_s": round(self.wall_s, 6),
+        }
+
+
+class Profiler:
+    """Per-stage accounting of SMT queries.
+
+    A stack of stage labels tracks the current caller; :meth:`record` is
+    called once per query by the solver entry points.
+    """
+
+    def __init__(self) -> None:
+        self._stack: list[str] = []
+        self.stages: dict[str, StageStats] = {}
+
+    # -- stage stack --------------------------------------------------------
+
+    def push(self, label: str) -> None:
+        self._stack.append(label)
+
+    def pop(self) -> None:
+        if self._stack:
+            self._stack.pop()
+
+    def current(self) -> str:
+        return self._stack[-1] if self._stack else DEFAULT_STAGE
+
+    # -- recording ----------------------------------------------------------
+
+    def record(
+        self,
+        sat: bool,
+        seconds: float,
+        cache_hit: bool = False,
+        theory_conflicts: int = 0,
+        stage: str | None = None,
+    ) -> None:
+        label = stage if stage is not None else self.current()
+        st = self.stages.get(label)
+        if st is None:
+            st = self.stages[label] = StageStats()
+        st.queries += 1
+        if sat:
+            st.sat += 1
+        else:
+            st.unsat += 1
+        if cache_hit:
+            st.cache_hits += 1
+        st.theory_conflicts += theory_conflicts
+        st.wall_s += seconds
+
+    # -- reporting ----------------------------------------------------------
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Per-stage counters, sorted by descending wall time."""
+        items = sorted(
+            self.stages.items(), key=lambda kv: -kv[1].wall_s
+        )
+        return {label: st.to_obj() for label, st in items}
+
+    def totals(self) -> dict[str, Any]:
+        total = StageStats()
+        for st in self.stages.values():
+            total.queries += st.queries
+            total.sat += st.sat
+            total.unsat += st.unsat
+            total.cache_hits += st.cache_hits
+            total.theory_conflicts += st.theory_conflicts
+            total.wall_s += st.wall_s
+        return total.to_obj()
+
+    def reset(self) -> None:
+        self._stack.clear()
+        self.stages.clear()
+
+
+#: The process-wide profiler every solver entry point records into.
+PROFILER = Profiler()
+
+
+@contextmanager
+def stage(label: str) -> Iterator[None]:
+    """Attribute SMT queries inside the block to ``label``."""
+    PROFILER.push(label)
+    try:
+        yield
+    finally:
+        PROFILER.pop()
+
+
+def current_stage() -> str:
+    return PROFILER.current()

@@ -259,11 +259,22 @@ class SatSolver:
 
     # -- main loop -----------------------------------------------------------------
 
-    def solve(self) -> str:
-        """Solve the current clause set; returns :data:`SAT` or :data:`UNSAT`."""
+    def solve(self, assumptions: Sequence[int] = ()) -> str:
+        """Solve the current clause set; returns :data:`SAT` or :data:`UNSAT`.
+
+        ``assumptions`` are literals temporarily held true for this call
+        only (MiniSat-style): each is made as a forced decision before any
+        free branching, so learned clauses never depend on them except as
+        ordinary literals and remain valid for later calls under different
+        assumptions.  An assumption falsified by the permanent clause set
+        (or by earlier assumptions) yields :data:`UNSAT` *under the
+        assumptions* without touching the clause database.
+        """
         if self._empty_clause:
             return UNSAT
         self._backtrack(0)
+        for lit in assumptions:
+            self.ensure_var(abs(lit))
         if self._propagate() is not None:
             return UNSAT
         restart_count = 0
@@ -292,13 +303,30 @@ class SatSolver:
                     conflicts_until_restart = 32 * _luby(restart_count)
                     self._backtrack(0)
                 continue
-            v = self._decide()
-            if v == 0:
-                return SAT
+            # Assumptions come first, as forced decisions; a backjump (or
+            # restart) below the assumption levels re-makes them here.
+            decision = 0
+            while len(self._trail_lim) < len(assumptions):
+                a = assumptions[len(self._trail_lim)]
+                val = self._value(a)
+                if val == _FALSE:
+                    return UNSAT  # unsat under the assumptions
+                if val == _TRUE:
+                    # Already implied: open an empty decision level so
+                    # the level <-> assumption indexing stays aligned.
+                    self._trail_lim.append(len(self._trail))
+                    continue
+                decision = a
+                break
+            if decision == 0:
+                v = self._decide()
+                if v == 0:
+                    return SAT
+                # Phase saving would go here; default to negative polarity,
+                # which is a good fit for sparse models.
+                decision = -v
             self._trail_lim.append(len(self._trail))
-            # Phase saving would go here; default to negative polarity,
-            # which is a good fit for sparse models.
-            self._enqueue(-v, None)
+            self._enqueue(decision, None)
 
     # -- model access -----------------------------------------------------------------
 

@@ -9,15 +9,24 @@ theory unsat core, and the loop repeats.
 Also exposes the fast conjunction-level entry points the verifier uses on its
 hot paths (:func:`is_sat_conjunction`, :func:`entails`), which bypass the SAT
 engine entirely.
+
+Every verdict computed here is memoized in the shared, bounded
+:data:`repro.smt.qcache.SAT_CACHE` under canonicalized keys, every query is
+attributed to its calling stage by :mod:`repro.smt.profile`, and
+non-conjunctive queries run on the incremental :mod:`repro.smt.session`
+rather than a throwaway :class:`Solver`.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, Sequence
 
 from . import lia
 from .cnf import AtomTable, rewrite_to_le, to_nnf, tseitin
 from .linear import LinEq, LinExpr, LinLe, normalize_atom
+from .profile import PROFILER
+from .qcache import SAT_CACHE, literal_key, term_key
 from .sat import SAT, SatSolver
 from .terms import (
     And,
@@ -120,22 +129,60 @@ def is_sat(formula: Term) -> bool:
     conj = _try_conjunction(formula)
     if conj is not None:
         return is_sat_conjunction(conj)
-    return Solver(formula).check().is_sat
+    return _is_sat_general(formula)
+
+
+def _is_sat_general(formula: Term) -> bool:
+    """Cached, session-backed satisfiability for disjunctive formulas."""
+    t0 = time.perf_counter()
+    nnf = to_nnf(rewrite_to_le(formula))
+    if isinstance(nnf, BoolConst):
+        PROFILER.record(nnf.value, time.perf_counter() - t0)
+        return nnf.value
+    key = term_key(nnf)
+    cached = SAT_CACHE.lookup(key)
+    if cached is not None:
+        PROFILER.record(cached, time.perf_counter() - t0, cache_hit=True)
+        return cached
+    from .session import default_session
+
+    session = default_session()
+    before = session.stats.theory_conflicts
+    verdict = session.check_nnf(nnf, formula).is_sat
+    SAT_CACHE.store(key, verdict)
+    PROFILER.record(
+        verdict,
+        time.perf_counter() - t0,
+        theory_conflicts=session.stats.theory_conflicts - before,
+    )
+    return verdict
 
 
 def get_model(formula: Term) -> dict[str, int] | None:
     """A satisfying integer assignment, or None when unsat."""
-    result = Solver(formula).check()
+    from .session import default_session
+
+    result = default_session().check(formula)
     return result.model if result.is_sat else None
 
 
 def is_valid(formula: Term) -> bool:
-    """Is the formula true under every integer assignment?"""
+    """Is the formula true under every integer assignment?
+
+    Routed through the shared cache with a negation-aware key: the
+    canonical key of ``not formula`` is computed on its negation normal
+    form, so a prior ``is_sat`` result for the negation is reused here
+    (and vice versa) instead of building a fresh solver.
+    """
     return not is_sat(not_(formula))
 
 
 def entails(antecedent: Term, consequent: Term) -> bool:
-    """Does ``antecedent`` entail ``consequent``?"""
+    """Does ``antecedent`` entail ``consequent``?
+
+    Shares cache entries with any prior satisfiability query of the
+    canonically equal formula ``antecedent and not consequent``.
+    """
     return not is_sat(and_(antecedent, not_(consequent)))
 
 
@@ -206,12 +253,9 @@ def conjunction_constraints(literals: Iterable[Term]) -> list[list[LinLe | LinEq
     return branches
 
 
-#: Memo for conjunction queries; regions recur heavily during fixpoints.
-_conjunction_cache: dict[frozenset, bool] = {}
-
-
 def clear_conjunction_cache() -> None:
-    _conjunction_cache.clear()
+    """Drop every memoized verdict (now the unified, bounded cache)."""
+    SAT_CACHE.clear()
 
 
 def is_sat_conjunction(literals: Sequence[Term]) -> bool:
@@ -221,27 +265,38 @@ def is_sat_conjunction(literals: Sequence[Term]) -> bool:
     engine, just the LIA procedure with *lazy* disequality splitting -- a
     disequality is split into its two strict branches only when the current
     model violates it, avoiding the eager 2^d product.
+
+    Verdicts are memoized in the shared LRU cache under the canonical
+    constraint key, so permutations and equivalent spellings of the same
+    region hit the same entry, across every caller in the process.
     """
-    lits = frozenset(lit for lit in literals if lit != TRUE)
-    if FALSE in lits:
-        return False
-    cached = _conjunction_cache.get(lits)
-    if cached is not None:
-        return cached
+    t0 = time.perf_counter()
+    keys: set[str] = set()
     base: list[LinLe | LinEq] = []
     diseqs: list[tuple[LinLe, LinLe]] = []
-    from .terms import Not
-
-    for lit in lits:
-        negated = isinstance(lit, Not)
-        atom = lit.arg if negated else lit
-        for part in normalize_atom(atom, negated=negated):
+    for lit in literals:
+        if lit == TRUE:
+            continue
+        if lit == FALSE:
+            PROFILER.record(False, time.perf_counter() - t0)
+            return False
+        ks, parts = literal_key(lit)
+        if keys.issuperset(ks):
+            continue  # canonically duplicate literal
+        keys.update(ks)
+        for part in parts:
             if isinstance(part, tuple):
                 diseqs.append(part)
             else:
                 base.append(part)
+    key = tuple(sorted(keys))
+    cached = SAT_CACHE.lookup(key)
+    if cached is not None:
+        PROFILER.record(cached, time.perf_counter() - t0, cache_hit=True)
+        return cached
     result = _sat_with_diseqs(base, diseqs)
-    _conjunction_cache[lits] = result
+    SAT_CACHE.store(key, result)
+    PROFILER.record(result, time.perf_counter() - t0)
     return result
 
 
