@@ -18,7 +18,7 @@ from typing import Iterable, Mapping
 
 from ..smt import terms as T
 
-__all__ = ["Acfa", "AcfaEdge", "empty_acfa"]
+__all__ = ["Acfa", "AcfaEdge", "acfa_signature", "empty_acfa"]
 
 
 class AcfaEdge:
@@ -163,6 +163,25 @@ class Acfa:
             lines.append(f'  n{e.src} -> n{e.dst} [label="{{{vs}}}"];')
         lines.append("}")
         return "\n".join(lines)
+
+
+def acfa_signature(acfa: Acfa) -> tuple:
+    """A hashable value identifying an ACFA up to isomorphism of content.
+
+    Two ACFAs with equal signatures have identical locations, labels,
+    havoc edges, atomicity, and entries -- everything the abstract
+    semantics reads.  The incremental exploration store keys its
+    whole-run, omega, and quotient memos on this.
+    """
+    locs = tuple(sorted(acfa.locations))
+    return (
+        acfa.q0,
+        acfa.entries,
+        locs,
+        tuple(sorted(acfa.atomic)),
+        tuple((q, acfa.label[q]) for q in locs),
+        tuple((e.src, tuple(sorted(e.havoc)), e.dst) for e in acfa.edges),
+    )
 
 
 def empty_acfa(name: str = "empty") -> Acfa:

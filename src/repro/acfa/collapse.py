@@ -25,10 +25,27 @@ which the refinement procedure uses to concretize abstract context traces.
 from __future__ import annotations
 
 
-from ..smt import terms as T
-from .acfa import Acfa, AcfaEdge
+from typing import Iterable
 
-__all__ = ["collapse", "project_acfa"]
+from ..smt import terms as T
+from .acfa import Acfa, AcfaEdge, acfa_signature
+
+__all__ = ["collapse", "project_acfa", "quotient_key"]
+
+
+def quotient_key(
+    graph: Acfa, locals_: Iterable[str], name: str = "context"
+) -> tuple:
+    """The complete set of inputs the quotient is a function of.
+
+    ``collapse`` reads nothing beyond the ARG's structural content, the
+    local-variable set it projects away, and the name it stamps on the
+    result, so two calls with equal keys return equal ``(acfa, mu)``
+    pairs.  The incremental exploration store memoizes ``collapse`` on
+    this key, which is what makes the ACFA-unchanged fixpoint iterations
+    of CIRC's inner loop re-quotient for free.
+    """
+    return (acfa_signature(graph), tuple(sorted(locals_)), name)
 
 
 def project_acfa(graph: Acfa, locals_: frozenset[str], name: str | None = None) -> Acfa:

@@ -34,6 +34,7 @@ from ..context.state import AbstractProgram
 from ..exec.interp import MultiProgram, replay
 from ..predabs.abstractor import Abstractor
 from ..predabs.region import PredicateSet
+from ..reach import FRONTIERS, ArgStore
 from ..smt import terms as T
 from .omega import omega_check
 from .reach import (
@@ -104,6 +105,9 @@ def circ(
     timeout_s: float | None = None,
     keep_history: bool = False,
     validate_witness: bool = True,
+    incremental: bool = True,
+    frontier: str = "bfs",
+    store: ArgStore | None = None,
 ) -> CircSafe | CircUnsafe:
     """Check the symmetric multithreaded program ``cfa``^infinity for races
     on ``race_on`` (or assertion failures when ``check_errors``).
@@ -119,17 +123,47 @@ def circ(
     statistics and the predicates discovered so far.  Both default to
     ``None`` (no budget), preserving the historical behavior of looping
     until ``max_outer``/``max_inner`` give up with a plain ``CircError``.
+
+    ``incremental`` (default on) keeps a persistent
+    :class:`~repro.reach.store.ArgStore` across inner iterations and
+    refinement restarts, reusing abstract posts, omega checks, and
+    collapse quotients whose inputs did not change; verdicts are
+    byte-identical to scratch exploration.  Pass ``incremental=False``
+    (the escape hatch) to rebuild everything each iteration, or a
+    ``store`` to share reuse across several calls on the same program.
+    ``frontier`` selects the exploration order (``"bfs"``, ``"dfs"``,
+    ``"depth"``); the default BFS matches the historical order exactly.
     """
     if race_on is None and not check_errors:
         raise ValueError("nothing to check: give race_on or check_errors")
+    if frontier not in FRONTIERS:
+        raise ValueError(
+            f"unknown frontier strategy {frontier!r}; "
+            f"choose from {sorted(FRONTIERS)}"
+        )
     start_time = time.perf_counter()
     deadline = start_time + timeout_s if timeout_s is not None else None
     stats = CircStats(final_k=k)
     preds = PredicateSet(initial_predicates)
     omega_start = variant == "circ"
+    # The boolean domain does not upgrade by literal union, so predicate
+    # refinement cannot keep any memoized posts -- run it from scratch.
+    use_store = incremental and abstraction == "cartesian"
+    arg_store = (store or ArgStore()) if use_store else None
+    if arg_store is not None:
+        arg_store.bind_cfa(cfa)
+
+    def finalize_stats() -> None:
+        stats.n_predicates = len(preds)
+        stats.final_k = k
+        stats.elapsed_seconds = time.perf_counter() - start_time
+        if arg_store is not None:
+            stats.reuse = arg_store.reuse_stats()
+            stats.store_digest = arg_store.digest()
 
     def record(rec: IterationRecord) -> None:
         if keep_history:
+            rec.elapsed_s = time.perf_counter() - start_time
             stats.history.append(rec)
 
     def check_budget() -> None:
@@ -143,9 +177,7 @@ def circ(
             reason = f"iteration budget of {max_iterations} exceeded"
         else:
             return
-        stats.n_predicates = len(preds)
-        stats.final_k = k
-        stats.elapsed_seconds = elapsed
+        finalize_stats()
         raise CircBudgetExceeded(
             CircUnknown(
                 variable=race_on,
@@ -160,7 +192,10 @@ def circ(
         context: Acfa = empty_acfa()
         mu: dict[int, int] = {}
         prev_reach: Optional[ReachResult] = None
-        abstractor = Abstractor(preds, mode=abstraction)
+        if arg_store is not None:
+            abstractor = arg_store.abstractor_for(preds, abstraction)
+        else:
+            abstractor = Abstractor(preds, mode=abstraction)
         refined = False
 
         for inner in range(1, max_inner + 1):
@@ -175,6 +210,8 @@ def circ(
                     omega_start=omega_start,
                     max_states=max_states,
                     deadline=deadline,
+                    store=arg_store,
+                    frontier=frontier,
                 )
             except AbstractRaceFound as exc:
                 record(
@@ -219,11 +256,7 @@ def circ(
                         # A deadline-truncated search is a budget story,
                         # not a refinement stall.
                         check_budget()
-                        stats.n_predicates = len(preds)
-                        stats.final_k = k
-                        stats.elapsed_seconds = (
-                            time.perf_counter() - start_time
-                        )
+                        finalize_stats()
                         raise CircInconclusive(
                             CircUnknown(
                                 variable=race_on,
@@ -244,9 +277,7 @@ def circ(
                             raise CircError(
                                 "counterexample failed concrete replay"
                             )
-                    stats.n_predicates = len(preds)
-                    stats.final_k = k
-                    stats.elapsed_seconds = time.perf_counter() - start_time
+                    finalize_stats()
                     return CircUnsafe(
                         variable=race_on,
                         steps=outcome.steps,
@@ -292,7 +323,7 @@ def circ(
 
             if simulates(project_acfa(reach.arg, cfa.locals), context):
                 if variant == "omega" and not omega_check(
-                    reach, context, cfa, k
+                    reach, context, cfa, k, store=arg_store
                 ):
                     k += 1
                     refined = True
@@ -306,10 +337,8 @@ def circ(
                         )
                     )
                     break
-                stats.n_predicates = len(preds)
+                finalize_stats()
                 stats.final_acfa_size = context.size
-                stats.final_k = k
-                stats.elapsed_seconds = time.perf_counter() - start_time
                 record(
                     IterationRecord(
                         outer,
@@ -328,7 +357,12 @@ def circ(
                     stats=stats,
                 )
 
-            context, mu = collapse(reach.arg, cfa.locals)
+            if arg_store is not None:
+                context, mu = arg_store.collapse_quotient(
+                    reach.arg, cfa.locals
+                )
+            else:
+                context, mu = collapse(reach.arg, cfa.locals)
             prev_reach = reach
         else:
             raise CircError(

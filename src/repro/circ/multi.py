@@ -29,6 +29,7 @@ from ..context.state import AbstractProgram
 from ..exec.interp import MultiProgram, replay
 from ..predabs.abstractor import Abstractor
 from ..predabs.region import PredicateSet
+from ..reach import ArgStore
 from ..smt import terms as T
 from ..smt.solver import get_model
 from .circ import CircError
@@ -147,9 +148,16 @@ def circ_multi(
     max_inner: int = 40,
     max_states: int = 500_000,
     validate_witness: bool = True,
+    incremental: bool = True,
+    frontier: str = "bfs",
 ) -> MultiSafe | MultiUnsafe:
     """Check races on ``race_on`` over arbitrarily many copies of *each*
-    template running concurrently."""
+    template running concurrently.
+
+    ``incremental`` keeps one :class:`~repro.reach.store.ArgStore` per
+    template, reusing abstract posts and collapse quotients across inner
+    iterations and refinement restarts exactly like :func:`~repro.circ.circ.circ`.
+    """
     if not templates:
         raise ValueError("need at least one thread template")
     names = list(templates)
@@ -164,13 +172,30 @@ def circ_multi(
     start_time = time.perf_counter()
     stats = CircStats(final_k=k)
     preds = [PredicateSet() for _ in names]
+    stores: list[Optional[ArgStore]] = [
+        ArgStore() if incremental else None for _ in names
+    ]
+
+    def finalize_reuse() -> None:
+        if not incremental:
+            return
+        merged: dict[str, int] = {}
+        for s in stores:
+            for key, value in s.reuse_stats().items():
+                merged[key] = merged.get(key, 0) + value
+        stats.reuse = merged
 
     for outer in range(1, max_outer + 1):
         stats.outer_iterations = outer
         contexts = [empty_acfa(f"ctx:{n}") for n in names]
         mus: list[dict[int, int]] = [{} for _ in names]
         prev: list[Optional[ReachResult]] = [None for _ in names]
-        abstractors = [Abstractor(p) for p in preds]
+        abstractors = [
+            stores[i].abstractor_for(p, "cartesian")
+            if stores[i] is not None
+            else Abstractor(p)
+            for i, p in enumerate(preds)
+        ]
         refined = False
 
         for inner in range(1, max_inner + 1):
@@ -188,6 +213,8 @@ def circ_multi(
                             program,
                             race_on=race_on,
                             max_states=max_states,
+                            store=stores[i],
+                            frontier=frontier,
                         )
                     )
                 except AbstractRaceFound as exc:
@@ -231,6 +258,7 @@ def circ_multi(
                     stats.elapsed_seconds = (
                         time.perf_counter() - start_time
                     )
+                    finalize_reuse()
                     return outcome
                 new_preds, new_k = outcome
                 for i, extra in enumerate(new_preds):
@@ -250,6 +278,7 @@ def circ_multi(
             ):
                 stats.elapsed_seconds = time.perf_counter() - start_time
                 stats.final_k = k
+                finalize_reuse()
                 return MultiSafe(
                     variable=race_on,
                     templates=tuple(names),
@@ -263,9 +292,14 @@ def circ_multi(
                 )
             new_contexts = []
             for i, r in enumerate(reaches):
-                ctx, mu = collapse(
-                    r.arg, cfas[i].locals, name=f"ctx:{names[i]}"
-                )
+                if stores[i] is not None:
+                    ctx, mu = stores[i].collapse_quotient(
+                        r.arg, cfas[i].locals, name=f"ctx:{names[i]}"
+                    )
+                else:
+                    ctx, mu = collapse(
+                        r.arg, cfas[i].locals, name=f"ctx:{names[i]}"
+                    )
                 new_contexts.append(ctx)
                 mus[i] = mu
                 prev[i] = r

@@ -33,6 +33,7 @@ from ..acfa.acfa import Acfa, AcfaEdge
 from ..acfa.simulate import simulation_relation
 from ..cfa.cfa import CFA
 from ..context.counters import OMEGA, ContextState, counter_dec, counter_inc
+from ..reach.store import ArgStore, acfa_signature
 from ..smt import terms as T
 from ..smt.profile import stage
 from ..smt.solver import is_sat_conjunction
@@ -122,18 +123,47 @@ def _graph_reachable(acfa: Acfa) -> frozenset[int]:
     return frozenset(reach)
 
 
-def omega_check(reach: ReachResult, acfa: Acfa, cfa: CFA, k: int) -> bool:
+def omega_check(
+    reach: ReachResult,
+    acfa: Acfa,
+    cfa: CFA,
+    k: int,
+    store: ArgStore | None = None,
+) -> bool:
     """Is the converged k-thread context sound for arbitrarily many
-    threads?  (See module docstring.)"""
+    threads?  (See module docstring.)
+
+    With an :class:`ArgStore`, the context-only reachability is memoized
+    by the ACFA's signature and the per-(location, edge) goodness checks
+    by their label terms, so after a context weakening or refinement only
+    the *changed* locations are re-proved.
+    """
     with stage("omega"):
-        return _omega_check(reach, acfa, cfa, k)
+        return _omega_check(reach, acfa, cfa, k, store)
 
 
-def _omega_check(reach: ReachResult, acfa: Acfa, cfa: CFA, k: int) -> bool:
+def _omega_check(
+    reach: ReachResult,
+    acfa: Acfa,
+    cfa: CFA,
+    k: int,
+    store: ArgStore | None = None,
+) -> bool:
     if acfa.is_empty():
         return not acfa.edges
 
-    configs = _context_only_reach(acfa, cfa, k)
+    if store is not None:
+        reach_key = (
+            acfa_signature(acfa),
+            tuple(sorted(cfa.global_init.items())),
+            k,
+            MAX_CONTEXT_STATES,
+        )
+        configs = store.context_reach(
+            reach_key, lambda: _context_only_reach(acfa, cfa, k)
+        )
+    else:
+        configs = _context_only_reach(acfa, cfa, k)
     if configs is None:
         coverable = _graph_reachable(acfa)
 
@@ -161,15 +191,37 @@ def _omega_check(reach: ReachResult, acfa: Acfa, cfa: CFA, k: int) -> bool:
         related.setdefault(g, set()).add(a)
 
     for n in reach.arg.locations:
-        label_n = list(reach.arg.label[n])
+        label_n = reach.arg.label[n]
         for e in acfa.edges:
             if not any(enabled(e, a) for a in related.get(n, ())):
                 continue
-            # Goodness: (exists Y. r(n)) and r(q'') |= r(n).
-            mapping = {v: T.var(v + "__h") for v in e.havoc}
-            projected = [T.substitute(lit, mapping) for lit in label_n]
-            antecedent = projected + list(acfa.label[e.dst])
-            for lit in label_n:
-                if is_sat_conjunction(antecedent + [T.not_(lit)]):
-                    return False
+            dst_label = acfa.label[e.dst]
+            if store is not None:
+                good = store.omega_good(
+                    label_n,
+                    e.havoc,
+                    dst_label,
+                    lambda: _is_good(label_n, e.havoc, dst_label),
+                )
+            else:
+                good = _is_good(label_n, e.havoc, dst_label)
+            if not good:
+                return False
+    return True
+
+
+def _is_good(
+    label_n: tuple[T.Term, ...],
+    havoc: frozenset[str],
+    dst_label: tuple[T.Term, ...],
+) -> bool:
+    """Goodness of one (ARG location, context edge) pair:
+    ``(exists Y. r(n)) and r(q'') |= r(n)`` -- a pure function of the
+    location label, the havoc set, and the target label."""
+    mapping = {v: T.var(v + "__h") for v in havoc}
+    projected = [T.substitute(lit, mapping) for lit in label_n]
+    antecedent = projected + list(dst_label)
+    for lit in label_n:
+        if is_sat_conjunction(antecedent + [T.not_(lit)]):
+            return False
     return True

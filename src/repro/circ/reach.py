@@ -1,375 +1,30 @@
-"""ReachAndBuild: abstract reachability plus ARG construction
-(Algorithms 1-4 of the paper).
+"""Compatibility surface for the historical ``repro.circ.reach`` module.
 
-The worklist reachability of the abstract multithreaded program
-``((C, P), (A, k))`` simultaneously builds an *abstract reachability graph*
-(ARG): an ACFA over the main thread's abstract thread states that
-over-approximates the behavior of C in the current context.  Procedure
-``Connect`` adds an edge per main-thread operation (an assignment
-contributes its target to the havoc label, an assume contributes nothing)
-and **unifies** the source and target locations of environment moves
-(procedure Union) -- condition (4) of the ARG definition requires
-``f(s) = f(s')`` across environment edges.
-
-Union-find keeps the unification cheap; ``export`` freezes the graph into
-an :class:`~repro.acfa.acfa.Acfa` plus the provenance map the refinement
-procedure needs to concretize context operations back into CFA paths.
+The reachability core moved into the :mod:`repro.reach` package when it
+became incremental: :mod:`repro.reach.arg` holds the ARG data layer,
+:mod:`repro.reach.frontier` the worklist orderings,
+:mod:`repro.reach.store` the persistent cross-iteration store, and
+:mod:`repro.reach.explore` the loop.  Everything that used to live here
+is re-exported unchanged -- ``reach_and_build`` gained only optional
+``store``/``frontier`` parameters and behaves identically without them.
 """
 
-from __future__ import annotations
-
-import time
-from dataclasses import dataclass
-from typing import Optional
-
-from ..acfa.acfa import Acfa, AcfaEdge
-from ..cfa.cfa import CFA, AssignOp, Edge
-from ..context.counters import ContextState
-from ..context.state import (
-    AbsState,
-    AbstractProgram,
-    CtxMove,
-    MainMove,
-    Move,
+from ..reach import (
+    AbstractRaceFound,
+    ArgBuilder,
+    ArgStore,
+    ReachBudgetExceeded,
+    ReachResult,
+    ThreadState,
+    reach_and_build,
 )
-from ..predabs.region import PredicateSet, Region
 
 __all__ = [
     "AbstractRaceFound",
     "ReachBudgetExceeded",
     "ReachResult",
     "ArgBuilder",
+    "ArgStore",
+    "ThreadState",
     "reach_and_build",
 ]
-
-#: A thread state of the main thread: (control location, region).
-ThreadState = tuple[int, Region]
-
-
-class AbstractRaceFound(Exception):
-    """Raised by reach_and_build when an abstract error state is reached.
-
-    ``trace`` is the interleaved abstract trace from the initial state:
-    a list of moves, each a MainMove (CFA edge) or CtxMove (ACFA edge).
-    """
-
-    def __init__(self, trace: list[Move], state: AbsState):
-        super().__init__(f"abstract race after {len(trace)} steps")
-        self.trace = trace
-        self.state = state
-
-
-class ReachBudgetExceeded(RuntimeError):
-    """The abstract state space exceeded the exploration budget."""
-
-
-class ArgBuilder:
-    """Incremental ARG with union-find location merging."""
-
-    def __init__(self, cfa: CFA, preds: PredicateSet):
-        self.cfa = cfa
-        self.preds = preds
-        self._parent: list[int] = []
-        self._state_loc: dict[ThreadState, int] = {}
-        self._members: dict[int, set[ThreadState]] = {}
-        self._pc: dict[int, int] = {}
-        # (src_root, dst_root) -> (havoc set, provenance CFA edges); roots
-        # are canonicalized lazily at export.
-        self._edges: dict[tuple[int, int], tuple[set[str], set[Edge]]] = {}
-        self.q0: Optional[int] = None
-
-    # -- union-find --------------------------------------------------------------
-
-    def _find_root(self, loc: int) -> int:
-        root = loc
-        while self._parent[root] != root:
-            root = self._parent[root]
-        while self._parent[loc] != root:
-            self._parent[loc], loc = root, self._parent[loc]
-        return root
-
-    # -- Algorithm Find ------------------------------------------------------------
-
-    def find(self, ts: ThreadState) -> int:
-        """Location containing the thread state, or a fresh one."""
-        loc = self._state_loc.get(ts)
-        if loc is not None:
-            return self._find_root(loc)
-        loc = len(self._parent)
-        self._parent.append(loc)
-        self._state_loc[ts] = loc
-        self._members[loc] = {ts}
-        self._pc[loc] = ts[0]
-        return loc
-
-    # -- Algorithm Union -------------------------------------------------------------
-
-    def union(self, a: int, b: int) -> int:
-        ra, rb = self._find_root(a), self._find_root(b)
-        if ra == rb:
-            return ra
-        if self._pc[ra] != self._pc[rb]:
-            raise AssertionError(
-                "environment moves never change the main thread's pc"
-            )
-        # Merge smaller into larger.
-        if len(self._members[ra]) < len(self._members[rb]):
-            ra, rb = rb, ra
-        self._parent[rb] = ra
-        self._members[ra].update(self._members.pop(rb))
-        return ra
-
-    # -- Algorithm Connect ---------------------------------------------------------------
-
-    def connect_main(self, src: ThreadState, edge: Edge, dst: ThreadState) -> None:
-        """Record a main-thread operation in the graph."""
-        a = self.find(src)
-        b = self.find(dst)
-        if isinstance(edge.op, AssignOp):
-            havoc = {edge.op.lhs}
-        else:
-            havoc = set()
-        key = (a, b)
-        entry = self._edges.get(key)
-        if entry is None:
-            self._edges[key] = (set(havoc), {edge})
-        else:
-            entry[0].update(havoc)
-            entry[1].add(edge)
-
-    def connect_ctx(self, src: ThreadState, dst: ThreadState) -> None:
-        """An environment move: unify the two locations."""
-        self.union(self.find(src), self.find(dst))
-
-    def set_initial(self, ts: ThreadState) -> None:
-        self.q0 = self.find(ts)
-
-    # -- export -------------------------------------------------------------------------
-
-    def export(self, name: str = "arg") -> tuple[Acfa, dict[tuple[int, int], frozenset[Edge]]]:
-        """Freeze into an ACFA plus edge provenance.
-
-        Location labels are the cartesian hull of the member thread states'
-        regions (the literals common to every member) -- a sound
-        over-approximation of the disjunction the paper's R map denotes.
-        """
-        assert self.q0 is not None, "set_initial was never called"
-        roots = sorted({self._find_root(l) for l in range(len(self._parent))})
-        renum = {root: i for i, root in enumerate(roots)}
-
-        label: dict[int, tuple] = {}
-        atomic: set[int] = set()
-        for root in roots:
-            members = self._members[root]
-            common = None
-            for (pc, region) in members:
-                lits = set(region.literal_terms(self.preds))
-                common = lits if common is None else (common & lits)
-            label[renum[root]] = tuple(
-                sorted(common or (), key=lambda t: repr(t))
-            )
-            if self.cfa.is_atomic(self._pc[root]):
-                atomic.add(renum[root])
-
-        merged_edges: dict[tuple[int, int], tuple[set[str], set[Edge]]] = {}
-        for (a, b), (havoc, prov) in self._edges.items():
-            ra, rb = renum[self._find_root(a)], renum[self._find_root(b)]
-            entry = merged_edges.get((ra, rb))
-            if entry is None:
-                merged_edges[(ra, rb)] = (set(havoc), set(prov))
-            else:
-                entry[0].update(havoc)
-                entry[1].update(prov)
-
-        acfa = Acfa(
-            name=name,
-            q0=renum[self._find_root(self.q0)],
-            locations=renum.values(),
-            label=label,
-            edges=[
-                AcfaEdge(src, frozenset(h), dst)
-                for (src, dst), (h, _) in merged_edges.items()
-            ],
-            atomic=atomic,
-        )
-        provenance = {
-            key: frozenset(prov)
-            for key, (_, prov) in merged_edges.items()
-        }
-        return acfa, provenance
-
-    def pc_of_root(self, renumbered: dict[int, int]) -> dict[int, int]:
-        return {
-            renumbered[root]: self._pc[root]
-            for root in {self._find_root(l) for l in range(len(self._parent))}
-        }
-
-    def location_of(self, ts: ThreadState) -> int | None:
-        loc = self._state_loc.get(ts)
-        return None if loc is None else self._find_root(loc)
-
-
-@dataclass
-class ReachResult:
-    """Outcome of a completed (race-free) reachability run."""
-
-    arg: Acfa
-    provenance: dict[tuple[int, int], frozenset[Edge]]
-    arg_pc: dict[int, int]
-    states_explored: int
-    reachable_contexts: set[ContextState]
-    enabled_ctx_edges: dict[int, set[AcfaEdge]]
-    state_location: dict[ThreadState, int]
-
-
-def reach_and_build(
-    program: AbstractProgram,
-    race_on: str | None = None,
-    check_errors: bool = False,
-    omega_start: bool = True,
-    max_states: int = 500_000,
-    deadline: float | None = None,
-    arg_name: str = "arg",
-) -> ReachResult:
-    """Compute abstract reachability; build the ARG (Algorithm 1).
-
-    Raises :class:`AbstractRaceFound` with the abstract counterexample when
-    an error state is reachable, :class:`ReachBudgetExceeded` when the
-    state budget -- or the optional ``deadline``, an absolute
-    :func:`time.perf_counter` instant -- runs out.
-    """
-    cfa = program.cfa
-    builder = ArgBuilder(cfa, program.abstractor.preds)
-
-    def is_bad(s: AbsState) -> bool:
-        if race_on is not None and program.is_race_state(s, race_on):
-            return True
-        if check_errors and s.pc in cfa.error_locations:
-            return True
-        return False
-
-    init = program.initial(omega_start=omega_start)
-    builder.set_initial(init.thread_state())
-
-    parent: dict[AbsState, tuple[AbsState, Move] | None] = {init: None}
-
-    # Covering-based pruning: for a fixed (pc, region), a context state with
-    # pointwise-larger counts and the same occupied-atomic pattern enables a
-    # superset of moves, reaches a superset of races, and produces identical
-    # thread-state successors -- so states covered by an explored state can
-    # be skipped (WSTS-style).  `frontier_max` maps (pc, region, atomic
-    # pattern) to the maximal count vectors seen.
-    from ..context.counters import OMEGA
-
-    acfa_atomic = [
-        q for q in sorted(program.acfa.locations) if program.acfa.is_atomic(q)
-    ]
-
-    def counts_geq(a, b) -> bool:
-        for x, y in zip(a, b):
-            if x is OMEGA:
-                continue
-            if y is OMEGA or x < y:
-                return False
-        return True
-
-    covering: dict[tuple, list] = {}
-
-    def is_covered(state: AbsState) -> bool:
-        pattern = tuple(
-            (state.context.count(q) is OMEGA or state.context.count(q) > 0)
-            for q in acfa_atomic
-        )
-        key = (state.pc, state.region, pattern)
-        counts = state.context.counts
-        kept = covering.get(key)
-        if kept is None:
-            covering[key] = [counts]
-            return False
-        for other in kept:
-            if counts_geq(other, counts):
-                return True
-        covering[key] = [
-            other for other in kept if not counts_geq(counts, other)
-        ] + [counts]
-        return False
-
-    def trace_to(state: AbsState) -> list[Move]:
-        moves: list[Move] = []
-        cur = state
-        while parent[cur] is not None:
-            prev, move = parent[cur]
-            moves.append(move)
-            cur = prev
-        moves.reverse()
-        return moves
-
-    if is_bad(init):
-        raise AbstractRaceFound([], init)
-
-    reachable_contexts: set[ContextState] = {init.context}
-    enabled_ctx: dict[int, set[AcfaEdge]] = {}
-
-    frontier = [init]
-    explored = 1
-    while frontier:
-        next_frontier: list[AbsState] = []
-        for state in frontier:
-            if deadline is not None and time.perf_counter() > deadline:
-                raise ReachBudgetExceeded("wall-clock deadline exceeded")
-            src_ts = state.thread_state()
-            src_loc = builder.find(src_ts)
-            for move in program.enabled_moves(state):
-                if isinstance(move, CtxMove):
-                    enabled_ctx.setdefault(src_loc, set()).add(move.edge)
-                nxt = program.post(state, move)
-                if nxt is None:
-                    continue
-                # Connect regardless of whether the state was seen: the
-                # edge itself may be new.
-                if isinstance(move, MainMove):
-                    builder.connect_main(src_ts, move.edge, nxt.thread_state())
-                else:
-                    builder.connect_ctx(src_ts, nxt.thread_state())
-                if nxt in parent:
-                    continue
-                if is_covered(nxt):
-                    continue
-                parent[nxt] = (state, move)
-                reachable_contexts.add(nxt.context)
-                explored += 1
-                if is_bad(nxt):
-                    raise AbstractRaceFound(trace_to(nxt), nxt)
-                if explored > max_states:
-                    raise ReachBudgetExceeded(
-                        f"more than {max_states} abstract states"
-                    )
-                next_frontier.append(nxt)
-        frontier = next_frontier
-
-    arg, provenance = builder.export(arg_name)
-    # Recompute per-export-location data.
-    roots = {
-        builder._find_root(l) for l in range(len(builder._parent))
-    }
-    renum = {root: i for i, root in enumerate(sorted(roots))}
-    arg_pc = {renum[r]: builder._pc[r] for r in roots}
-    state_location = {
-        ts: renum[builder._find_root(loc)]
-        for ts, loc in builder._state_loc.items()
-    }
-    enabled_renumed: dict[int, set[AcfaEdge]] = {}
-    for loc, edges in enabled_ctx.items():
-        enabled_renumed.setdefault(
-            renum[builder._find_root(loc)], set()
-        ).update(edges)
-
-    return ReachResult(
-        arg=arg,
-        provenance=provenance,
-        arg_pc=arg_pc,
-        states_explored=explored,
-        reachable_contexts=reachable_contexts,
-        enabled_ctx_edges=enabled_renumed,
-        state_location=state_location,
-    )

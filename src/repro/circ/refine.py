@@ -38,6 +38,7 @@ __all__ = [
     "RealRace",
     "Refinement",
     "ConcretizedTrace",
+    "is_degenerate",
     "refine",
 ]
 
@@ -344,12 +345,29 @@ def _mine_wp_atoms(ct: ConcretizedTrace) -> list[T.Term]:
     return preds
 
 
+def is_degenerate(p: T.Term) -> bool:
+    """True for atoms that are valid or unsatisfiable on their own, e.g.
+    the ``x == x+1`` artifacts of un-SSA-ing an assignment clause.
+
+    Degenerate atoms refine nothing -- both polarities of a real
+    predicate must be satisfiable for it to split an abstract state.
+    Their absence from refinements is also what the incremental ArgStore's
+    support-based subtree invalidation relies on: a degenerate predicate
+    would add a literal even to posts over disjoint variables, forcing a
+    full memo drop instead of a frontier re-exploration.
+    """
+    from ..smt.solver import is_sat_conjunction
+
+    return not is_sat_conjunction([p]) or not is_sat_conjunction(
+        [T.not_(p)]
+    )
+
+
 def _useful_predicates(
     candidates: Iterable[T.Term], existing: Iterable[T.Term]
 ) -> list[T.Term]:
     from ..smt.profile import stage
     from ..smt.simplify import fold_constants
-    from ..smt.solver import is_sat_conjunction
 
     known = set(existing)
     out: list[T.Term] = []
@@ -362,11 +380,7 @@ def _useful_predicates(
                 continue
             if p in known or T.not_(p) in known:
                 continue
-            # Drop degenerate atoms (unsatisfiable or valid), e.g. the
-            # x == x+1 artifacts of un-SSA-ing an assignment clause.
-            if not is_sat_conjunction([p]) or not is_sat_conjunction(
-                [T.not_(p)]
-            ):
+            if is_degenerate(p):
                 continue
             known.add(p)
             out.append(p)

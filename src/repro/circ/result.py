@@ -33,6 +33,12 @@ class IterationRecord:
     event: str = ""  # 'reach', 'race', 'converged'
     refinement_reason: str = ""
     new_predicates: tuple[T.Term, ...] = ()
+    #: Wall-clock seconds since the start of the run when the record was
+    #: emitted.  This is the one timing field every consumer reads -- the
+    #: CLI ``--stats`` table and the engine's JSONL events both derive
+    #: their timings from here / from ``CircStats.elapsed_seconds``
+    #: instead of keeping separate clocks.
+    elapsed_s: float = 0.0
 
 
 @dataclass
@@ -47,6 +53,11 @@ class CircStats:
     final_k: int = 0
     elapsed_seconds: float = 0.0
     history: list[IterationRecord] = field(default_factory=list)
+    #: Reuse counters from the incremental ArgStore (None when the run
+    #: was non-incremental); persisted in engine artifacts.
+    reuse: Optional[dict[str, int]] = None
+    #: Digest of the ArgStore's exploration history at exit.
+    store_digest: Optional[str] = None
 
 
 @dataclass

@@ -102,6 +102,26 @@ def _print_smt_stats() -> None:
     )
 
 
+def _print_reuse_stats(reuse: dict[str, int]) -> None:
+    """The ArgStore reuse table shown under ``--stats``."""
+    print("\nincremental exploration reuse (ArgStore):")
+    print(f"  {'memo':12s} {'hits':>8s} {'misses':>8s} {'rate':>7s}")
+    for memo in ("main_post", "ctx_post", "result", "omega",
+                 "ctx_reach", "collapse"):
+        hits = reuse.get(f"{memo}_hits", 0)
+        misses = reuse.get(f"{memo}_misses", 0)
+        total = hits + misses
+        rate = f"{hits / total:6.1%}" if total else "     -"
+        print(f"  {memo:12s} {hits:>8d} {misses:>8d} {rate:>7s}")
+    print(
+        f"  refinement invalidation: "
+        f"{reuse.get('entries_kept', 0)} entries kept, "
+        f"{reuse.get('entries_invalidated', 0)} invalidated; "
+        f"{reuse.get('abstractor_extensions', 0)} abstractor extensions, "
+        f"{reuse.get('abstractor_rebuilds', 0)} rebuilds"
+    )
+
+
 def _cmd_check(args) -> int:
     cfa = _load(args.file, args.thread)
     variables = (
@@ -135,6 +155,7 @@ def _cmd_check(args) -> int:
 
         static_report = classify(cfa, variables)
     status = 0
+    reuse_totals: dict[str, int] = {}
     for var in variables:
         start = time.perf_counter()
         if static_report is not None:
@@ -153,6 +174,8 @@ def _cmd_check(args) -> int:
                 k=args.k,
                 max_iterations=args.max_iterations,
                 timeout_s=args.timeout,
+                incremental=not args.no_incremental,
+                frontier=args.frontier,
             )
         except (CircBudgetExceeded, CircInconclusive) as exc:
             result = exc.result
@@ -160,7 +183,15 @@ def _cmd_check(args) -> int:
             print(f"{var}: UNDECIDED ({exc})")
             status = 3
             continue
-        elapsed = time.perf_counter() - start
+        # The verifier's own stats record is the single timing source
+        # (the engine's JSONL events read the same field); the local
+        # clock only covers verdicts that never reached finalization.
+        elapsed = result.stats.elapsed_seconds or (
+            time.perf_counter() - start
+        )
+        if result.stats.reuse:
+            for key, value in result.stats.reuse.items():
+                reuse_totals[key] = reuse_totals.get(key, 0) + value
         if result.unknown:
             print(f"{var}: UNKNOWN  [{elapsed:.1f}s, {result.reason}]")
             status = 4
@@ -184,6 +215,8 @@ def _cmd_check(args) -> int:
                 print(f"    T{tid}: {edge.op}")
     if args.stats:
         _print_smt_stats()
+        if reuse_totals:
+            _print_reuse_stats(reuse_totals)
     return status
 
 
@@ -409,6 +442,8 @@ def _cmd_batch(args) -> int:
         options["max_iterations"] = args.max_iterations
     if args.timeout is not None:
         options["timeout_s"] = args.timeout
+    if args.no_incremental:
+        options["incremental"] = False
     report = run_batch(
         items,
         cache_dir=None if args.no_cache else args.cache,
@@ -464,6 +499,8 @@ def _cmd_fuzz(args) -> int:
         circ_options.append(("max_iterations", args.max_iterations))
     if args.timeout is not None:
         circ_options.append(("timeout_s", args.timeout))
+    if args.no_incremental:
+        circ_options.append(("incremental", False))
     config = FuzzConfig(
         gen=GenConfig(),
         max_threads=args.threads,
@@ -559,6 +596,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         metavar="SECONDS",
         help="per-variable wall-clock budget (UNKNOWN when hit)",
+    )
+    p.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="rebuild the ARG from scratch each iteration "
+        "(disables the persistent ArgStore)",
+    )
+    p.add_argument(
+        "--frontier",
+        choices=("bfs", "dfs", "depth"),
+        default="bfs",
+        help="worklist order for abstract exploration (default: bfs)",
     )
     p.set_defaults(func=_cmd_check)
 
@@ -667,6 +716,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="per-job wall-clock budget (UNKNOWN when hit)",
     )
+    p.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="run every CIRC job without the persistent ArgStore",
+    )
     p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser(
@@ -718,6 +772,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         metavar="SECONDS",
         help="per-path CIRC wall-clock budget (UNKNOWN when hit)",
+    )
+    p.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="run the CIRC paths without the persistent ArgStore",
     )
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.add_argument(

@@ -199,7 +199,7 @@ def acfa_from_obj(obj: Any) -> Acfa:
 
 
 def _stats_to_obj(stats: CircStats) -> Any:
-    return {
+    obj = {
         "outer_iterations": stats.outer_iterations,
         "inner_iterations": stats.inner_iterations,
         "n_predicates": stats.n_predicates,
@@ -208,10 +208,25 @@ def _stats_to_obj(stats: CircStats) -> Any:
         "final_k": stats.final_k,
         "elapsed_seconds": stats.elapsed_seconds,
     }
+    # Incremental-exploration telemetry: reuse counters and the ArgStore
+    # digest travel with the artifact so warm starts can report how much
+    # exploration history they inherited.  Optional for compatibility
+    # with artifacts written before the incremental engine existed.
+    if stats.reuse is not None:
+        obj["reuse"] = {k: int(v) for k, v in sorted(stats.reuse.items())}
+    if stats.store_digest is not None:
+        obj["store_digest"] = stats.store_digest
+    return obj
 
 
 def _stats_from_obj(obj: Any) -> CircStats:
     try:
+        reuse = obj.get("reuse")
+        if reuse is not None and not isinstance(reuse, dict):
+            raise ValueError("reuse must be a mapping")
+        digest = obj.get("store_digest")
+        if digest is not None and not isinstance(digest, str):
+            raise ValueError("store_digest must be a string")
         return CircStats(
             outer_iterations=int(obj["outer_iterations"]),
             inner_iterations=int(obj["inner_iterations"]),
@@ -220,6 +235,8 @@ def _stats_from_obj(obj: Any) -> CircStats:
             abstract_states=int(obj["abstract_states"]),
             final_k=int(obj["final_k"]),
             elapsed_seconds=float(obj["elapsed_seconds"]),
+            reuse={k: int(v) for k, v in reuse.items()} if reuse else None,
+            store_digest=digest,
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ArtifactError(f"malformed stats payload: {exc}") from exc

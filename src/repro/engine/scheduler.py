@@ -74,11 +74,19 @@ def _run_job_payload(payload: dict) -> dict:
             predicates=(),
             stats=CircStats(),
         )
+    # One timing record for every consumer: the verifier's own
+    # CircStats.elapsed_seconds is authoritative (the CLI --stats table
+    # reads the same field), and the scheduler's clock only fills in for
+    # paths where circ never finalized its stats (lowering failures,
+    # internal errors).
+    elapsed_ms = (time.perf_counter() - start) * 1000.0
+    if result.stats.elapsed_seconds > 0.0:
+        elapsed_ms = result.stats.elapsed_seconds * 1000.0
     return {
         "job_id": payload["job_id"],
         "result": result_to_obj(result),
         "warm": bool(payload.get("seed_predicates")),
-        "elapsed_ms": (time.perf_counter() - start) * 1000.0,
+        "elapsed_ms": elapsed_ms,
     }
 
 
@@ -134,6 +142,7 @@ def _finish(
             options_fingerprint(job.options),
             shape=job.shape,
         )
+    reuse = result.stats.reuse or {}
     events.emit(
         "job_finished",
         job_id=job.job_id,
@@ -141,6 +150,10 @@ def _finish(
         warm=bool(record.get("warm")),
         elapsed_ms=round(record["elapsed_ms"], 3),
         iterations=result.stats.inner_iterations,
+        reuse_hits=sum(
+            v for k, v in reuse.items() if k.endswith("_hits")
+        ),
+        store_digest=result.stats.store_digest or "",
     )
     _fan_out(job, record, source, results)
 

@@ -107,6 +107,63 @@ class Abstractor:
         self._cache.put(key, region)
         return region
 
+    # -- incremental predicate-set upgrade ---------------------------------------
+
+    def extend(self, preds: PredicateSet) -> dict[str, int]:
+        """Upgrade in place to the extended predicate set ``preds``.
+
+        Requires the current predicates to be a prefix of ``preds`` (the
+        refinement loop only ever appends, keeping region literal indices
+        stable) and the cartesian domain, where the upgrade is exact:
+        ``Abs_{P∪NP}(φ) = Abs_P(φ) ∪ Δ`` with ``Δ`` ranging over the new
+        predicates only.  A memo entry whose key formulas share no
+        variables with the new predicates has an empty ``Δ`` -- a formula
+        over disjoint variables implies neither a (two-sided satisfiable)
+        predicate nor its negation -- so it is kept verbatim; overlapping
+        entries are evicted and recomputed on demand.  Bottom entries are
+        always kept: an unsatisfiable conjunction stays unsatisfiable
+        under more predicates.
+
+        Returns ``{"kept": n, "evicted": m, "cleared": 0|1}``.
+        """
+        if self.mode != "cartesian":
+            raise ValueError("extend() requires the cartesian domain")
+        old_n = len(self.preds)
+        if len(preds) < old_n or any(
+            self.preds[i] != preds[i] for i in range(old_n)
+        ):
+            raise ValueError("extend() requires a predicate-set extension")
+        new_preds = [preds[i] for i in range(old_n, len(preds))]
+        self.preds = preds
+        if not new_preds:
+            return {"kept": len(self._cache), "evicted": 0, "cleared": 0}
+        for p in new_preds:
+            if not _query_sat([p]) or not _query_sat([T.not_(p)]):
+                # A degenerate (valid or unsatisfiable) predicate adds a
+                # literal to every non-bottom region: nothing survives.
+                size = len(self._cache)
+                self._cache.clear()
+                return {"kept": 0, "evicted": size, "cleared": 1}
+        support: set[str] = set()
+        for p in new_preds:
+            support.update(T.free_vars(p))
+        doomed = []
+        kept = 0
+        for key, region in self._cache.items():
+            if region.is_bottom():
+                kept += 1
+                continue
+            parts_vars: set[str] = set()
+            for part in key[2]:
+                parts_vars.update(T.free_vars(part))
+            if parts_vars & support:
+                doomed.append(key)
+            else:
+                kept += 1
+        for key in doomed:
+            self._cache.pop(key)
+        return {"kept": kept, "evicted": len(doomed), "cleared": 0}
+
     def _abstract_cartesian(self, parts: Sequence[T.Term]) -> Region:
         literals: set[tuple[int, bool]] = set()
         base = list(parts)

@@ -1,0 +1,46 @@
+"""Incremental abstract reachability: ARG data layer, pluggable
+frontiers, the persistent cross-iteration store, and the exploration
+loop itself.
+
+Import surface::
+
+    from repro.reach import reach_and_build, ArgStore
+
+``repro.circ.reach`` re-exports everything here for backward
+compatibility.
+"""
+
+from .arg import (
+    AbstractRaceFound,
+    ArgBuilder,
+    ReachBudgetExceeded,
+    ReachResult,
+    ThreadState,
+)
+from .explore import reach_and_build
+from .frontier import (
+    FRONTIERS,
+    BfsFrontier,
+    DepthPriorityFrontier,
+    DfsFrontier,
+    Frontier,
+    make_frontier,
+)
+from .store import ArgStore, acfa_signature
+
+__all__ = [
+    "AbstractRaceFound",
+    "ReachBudgetExceeded",
+    "ReachResult",
+    "ArgBuilder",
+    "ThreadState",
+    "reach_and_build",
+    "Frontier",
+    "BfsFrontier",
+    "DfsFrontier",
+    "DepthPriorityFrontier",
+    "FRONTIERS",
+    "make_frontier",
+    "ArgStore",
+    "acfa_signature",
+]

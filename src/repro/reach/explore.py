@@ -1,0 +1,274 @@
+"""ReachAndBuild: abstract reachability plus ARG construction
+(Algorithms 1-4 of the paper), incremental and frontier-parametric.
+
+The worklist reachability of the abstract multithreaded program
+``((C, P), (A, k))`` simultaneously builds the ARG (see
+:mod:`repro.reach.arg`).  This module owns the loop itself:
+
+* the expansion order is a pluggable :class:`~repro.reach.frontier.Frontier`
+  (BFS by default -- identical to the historical generational order);
+* when an :class:`~repro.reach.store.ArgStore` is supplied, abstract posts
+  are served from its context-independent memos and whole runs whose input
+  signature was seen before return without exploring;
+* the wall-clock ``deadline`` is honored on every frontier pop, including
+  runs resumed over a warm store -- an expired deadline raises before any
+  memo can answer, matching the scratch path's budget contract.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..acfa.acfa import AcfaEdge
+from ..context.counters import OMEGA, ContextState
+from ..context.state import AbsState, AbstractProgram, CtxMove, MainMove, Move
+from .arg import (
+    AbstractRaceFound,
+    ArgBuilder,
+    ReachBudgetExceeded,
+    ReachResult,
+)
+from .frontier import make_frontier
+from .store import ArgStore, acfa_signature
+
+__all__ = ["reach_and_build"]
+
+
+def _run_signature(
+    program: AbstractProgram,
+    race_on: str | None,
+    check_errors: bool,
+    omega_start: bool,
+    max_states: int,
+    frontier: str,
+    arg_name: str,
+) -> tuple:
+    """The complete input signature of one reachability run.
+
+    Two runs with equal signatures explore identical abstract state
+    spaces in identical order and therefore produce identical results --
+    the deadline is deliberately excluded: serving a memoized result
+    never takes longer than recomputing it, so a cached answer is always
+    within any budget the scratch run would have met.
+    """
+    return (
+        program.abstractor.mode,
+        tuple(program.abstractor.preds),
+        program.k,
+        acfa_signature(program.acfa),
+        race_on,
+        check_errors,
+        omega_start,
+        max_states,
+        frontier,
+        arg_name,
+    )
+
+
+def reach_and_build(
+    program: AbstractProgram,
+    race_on: str | None = None,
+    check_errors: bool = False,
+    omega_start: bool = True,
+    max_states: int = 500_000,
+    deadline: float | None = None,
+    arg_name: str = "arg",
+    store: ArgStore | None = None,
+    frontier: str = "bfs",
+) -> ReachResult:
+    """Compute abstract reachability; build the ARG (Algorithm 1).
+
+    Raises :class:`AbstractRaceFound` with the abstract counterexample when
+    an error state is reachable, :class:`ReachBudgetExceeded` when the
+    state budget -- or the optional ``deadline``, an absolute
+    :func:`time.perf_counter` instant -- runs out.
+
+    ``store`` enables incremental reuse across calls; ``frontier`` selects
+    the worklist order (``"bfs"``, ``"dfs"``, or ``"depth"``).
+    """
+    if deadline is not None and time.perf_counter() > deadline:
+        raise ReachBudgetExceeded("wall-clock deadline exceeded")
+
+    if store is not None:
+        store.bind_cfa(program.cfa)
+        sig = _run_signature(
+            program,
+            race_on,
+            check_errors,
+            omega_start,
+            max_states,
+            frontier,
+            arg_name,
+        )
+        hit = store.lookup_result(sig)
+        if hit is not None:
+            if hit[0] == "race":
+                _, trace, state = hit
+                raise AbstractRaceFound(list(trace), state)
+            return hit[1]
+
+    cfa = program.cfa
+    builder = ArgBuilder(cfa, program.abstractor.preds)
+
+    def is_bad(s: AbsState) -> bool:
+        if race_on is not None and program.is_race_state(s, race_on):
+            return True
+        if check_errors and s.pc in cfa.error_locations:
+            return True
+        return False
+
+    def post(state: AbsState, move: Move) -> AbsState | None:
+        """``program.post`` routed through the store's memos when present."""
+        if store is None:
+            return program.post(state, move)
+        if isinstance(move, MainMove):
+            edge = move.edge
+            region = store.post_main(
+                program.abstractor, state.region, edge.op
+            )
+            if region.is_bottom():
+                return None
+            return AbsState(edge.dst, region, state.context)
+        edge = move.edge
+        new_ctx = state.context.move(edge.src, edge.dst, program.k)
+        region = store.post_havoc(
+            program.abstractor,
+            state.region,
+            edge.havoc,
+            program.acfa.label[edge.dst],
+            program.acfa.label[edge.src],
+        )
+        if region.is_bottom():
+            return None
+        return AbsState(state.pc, region, new_ctx)
+
+    init = program.initial(omega_start=omega_start)
+    builder.set_initial(init.thread_state())
+
+    parent: dict[AbsState, tuple[AbsState, Move] | None] = {init: None}
+
+    # Covering-based pruning: for a fixed (pc, region), a context state with
+    # pointwise-larger counts and the same occupied-atomic pattern enables a
+    # superset of moves, reaches a superset of races, and produces identical
+    # thread-state successors -- so states covered by an explored state can
+    # be skipped (WSTS-style).  `covering` maps (pc, region, atomic
+    # pattern) to the maximal count vectors seen.
+    acfa_atomic = [
+        q for q in sorted(program.acfa.locations) if program.acfa.is_atomic(q)
+    ]
+
+    def counts_geq(a, b) -> bool:
+        for x, y in zip(a, b):
+            if x is OMEGA:
+                continue
+            if y is OMEGA or x < y:
+                return False
+        return True
+
+    covering: dict[tuple, list] = {}
+
+    def is_covered(state: AbsState) -> bool:
+        pattern = tuple(
+            (state.context.count(q) is OMEGA or state.context.count(q) > 0)
+            for q in acfa_atomic
+        )
+        key = (state.pc, state.region, pattern)
+        counts = state.context.counts
+        kept = covering.get(key)
+        if kept is None:
+            covering[key] = [counts]
+            return False
+        for other in kept:
+            if counts_geq(other, counts):
+                return True
+        covering[key] = [
+            other for other in kept if not counts_geq(counts, other)
+        ] + [counts]
+        return False
+
+    def trace_to(state: AbsState) -> list[Move]:
+        moves: list[Move] = []
+        cur = state
+        while parent[cur] is not None:
+            prev, move = parent[cur]
+            moves.append(move)
+            cur = prev
+        moves.reverse()
+        return moves
+
+    def found_race(trace: list[Move], state: AbsState):
+        if store is not None:
+            store.store_result(sig, ("race", tuple(trace), state))
+        return AbstractRaceFound(trace, state)
+
+    if is_bad(init):
+        raise found_race([], init)
+
+    reachable_contexts: set[ContextState] = {init.context}
+    enabled_ctx: dict[int, set[AcfaEdge]] = {}
+
+    worklist = make_frontier(frontier)
+    worklist.push(init, 0)
+    explored = 1
+    while worklist:
+        state, depth = worklist.pop()
+        if deadline is not None and time.perf_counter() > deadline:
+            raise ReachBudgetExceeded("wall-clock deadline exceeded")
+        src_ts = state.thread_state()
+        src_loc = builder.find(src_ts)
+        for move in program.enabled_moves(state):
+            if isinstance(move, CtxMove):
+                enabled_ctx.setdefault(src_loc, set()).add(move.edge)
+            nxt = post(state, move)
+            if nxt is None:
+                continue
+            # Connect regardless of whether the state was seen: the
+            # edge itself may be new.
+            if isinstance(move, MainMove):
+                builder.connect_main(src_ts, move.edge, nxt.thread_state())
+            else:
+                builder.connect_ctx(src_ts, nxt.thread_state())
+            if nxt in parent:
+                continue
+            if is_covered(nxt):
+                continue
+            parent[nxt] = (state, move)
+            reachable_contexts.add(nxt.context)
+            explored += 1
+            if is_bad(nxt):
+                raise found_race(trace_to(nxt), nxt)
+            if explored > max_states:
+                raise ReachBudgetExceeded(
+                    f"more than {max_states} abstract states"
+                )
+            worklist.push(nxt, depth + 1)
+
+    arg, provenance = builder.export(arg_name)
+    # Recompute per-export-location data.
+    roots = {
+        builder._find_root(l) for l in range(len(builder._parent))
+    }
+    renum = {root: i for i, root in enumerate(sorted(roots))}
+    arg_pc = {renum[r]: builder._pc[r] for r in roots}
+    state_location = {
+        ts: renum[builder._find_root(loc)]
+        for ts, loc in builder._state_loc.items()
+    }
+    enabled_renumed: dict[int, set[AcfaEdge]] = {}
+    for loc, edges in enabled_ctx.items():
+        enabled_renumed.setdefault(
+            renum[builder._find_root(loc)], set()
+        ).update(edges)
+
+    result = ReachResult(
+        arg=arg,
+        provenance=provenance,
+        arg_pc=arg_pc,
+        states_explored=explored,
+        reachable_contexts=reachable_contexts,
+        enabled_ctx_edges=enabled_renumed,
+        state_location=state_location,
+    )
+    if store is not None:
+        store.store_result(sig, ("ok", result))
+    return result

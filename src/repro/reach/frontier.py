@@ -1,0 +1,124 @@
+"""Pluggable worklist orderings for the abstract reachability loop.
+
+The exploration in :mod:`repro.reach.explore` is parametric in the order
+states are expanded.  ``BfsFrontier`` (the default) is a FIFO queue whose
+expansion order is exactly the generational breadth-first order the
+verifier has always used, so traces, ARGs, and verdicts are unchanged.
+``DfsFrontier`` and ``DepthPriorityFrontier`` reach deep counterexamples
+sooner on some workloads; they may visit a different abstract race first
+and report different exploration statistics, but soundness (Theorem 1)
+does not depend on the order, only on running the worklist to fixpoint.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from collections import deque
+
+from ..context.state import AbsState
+
+__all__ = [
+    "Frontier",
+    "BfsFrontier",
+    "DfsFrontier",
+    "DepthPriorityFrontier",
+    "FRONTIERS",
+    "make_frontier",
+]
+
+
+class Frontier(ABC):
+    """A worklist of (state, depth) pairs awaiting expansion."""
+
+    name: str
+
+    @abstractmethod
+    def push(self, state: AbsState, depth: int) -> None: ...
+
+    @abstractmethod
+    def pop(self) -> tuple[AbsState, int]:
+        """Remove and return the next pair; raises IndexError when empty."""
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class BfsFrontier(Frontier):
+    """First-in first-out: generational breadth-first order."""
+
+    name = "bfs"
+
+    def __init__(self) -> None:
+        self._queue: deque[tuple[AbsState, int]] = deque()
+
+    def push(self, state: AbsState, depth: int) -> None:
+        self._queue.append((state, depth))
+
+    def pop(self) -> tuple[AbsState, int]:
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class DfsFrontier(Frontier):
+    """Last-in first-out: depth-first order."""
+
+    name = "dfs"
+
+    def __init__(self) -> None:
+        self._stack: list[tuple[AbsState, int]] = []
+
+    def push(self, state: AbsState, depth: int) -> None:
+        self._stack.append((state, depth))
+
+    def pop(self) -> tuple[AbsState, int]:
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+
+class DepthPriorityFrontier(Frontier):
+    """Deepest-first priority order with FIFO tie-breaking.
+
+    Unlike plain DFS this keeps the whole frontier ordered: among states
+    of equal depth, insertion order wins, so the ordering is deterministic.
+    """
+
+    name = "depth"
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, AbsState]] = []
+        self._seq = 0
+
+    def push(self, state: AbsState, depth: int) -> None:
+        heapq.heappush(self._heap, (-depth, self._seq, state))
+        self._seq += 1
+
+    def pop(self) -> tuple[AbsState, int]:
+        neg_depth, _, state = heapq.heappop(self._heap)
+        return state, -neg_depth
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+FRONTIERS: dict[str, type[Frontier]] = {
+    cls.name: cls
+    for cls in (BfsFrontier, DfsFrontier, DepthPriorityFrontier)
+}
+
+
+def make_frontier(name: str) -> Frontier:
+    try:
+        return FRONTIERS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown frontier strategy {name!r}; "
+            f"choose from {sorted(FRONTIERS)}"
+        ) from None

@@ -93,6 +93,9 @@ class LruCache:
     def __contains__(self, key: Hashable) -> bool:
         return key in self._data
 
+    def pop(self, key: Hashable, default: Any = None) -> Any:
+        return self._data.pop(key, default)
+
     def keys(self):
         return self._data.keys()
 

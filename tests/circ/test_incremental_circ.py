@@ -1,0 +1,106 @@
+"""Incremental vs. scratch CIRC must be observationally identical.
+
+The incremental engine (persistent :class:`ArgStore` with subtree
+invalidation and context-weakening reuse) is a pure acceleration layer:
+on every program it must return the same verdict, the same discovered
+predicates, and a stats-compatible exploration as a from-scratch run.
+These properties drive both paths over randomly generated programs and
+compare everything a caller can observe.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circ.circ import CircBudgetExceeded, CircError, circ
+from repro.circ.result import CircSafe, CircUnsafe
+from repro.fuzz.gen import GenConfig, generate
+from repro.lang.lower import lower_thread
+from repro.reach import ArgStore
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+seeds = st.integers(min_value=0, max_value=100_000)
+
+BUDGET = dict(max_outer=6, max_inner=40, timeout_s=20.0)
+
+
+def _run(cfa, race_on, **kwargs):
+    try:
+        return circ(cfa, race_on=race_on, **BUDGET, **kwargs)
+    except CircBudgetExceeded as exc:
+        return exc.result
+    except CircError:
+        return None
+
+
+def _observables(result):
+    obs = {
+        "kind": type(result).__name__,
+        "predicates": tuple(p.key() for p in result.predicates),
+        "outer": result.stats.outer_iterations,
+        "inner": result.stats.inner_iterations,
+        "states": result.stats.abstract_states,
+        "final_k": result.stats.final_k,
+    }
+    if isinstance(result, CircSafe):
+        obs["acfa_size"] = result.context.size
+    if isinstance(result, CircUnsafe):
+        obs["steps"] = len(result.steps)
+        obs["threads"] = result.n_threads
+    return obs
+
+
+@settings(**SETTINGS)
+@given(seeds)
+def test_incremental_matches_scratch(seed):
+    gp = generate(seed, GenConfig(pointers=False))
+    cfa = lower_thread(gp.program, gp.thread)
+    scratch = _run(cfa, gp.race_var, incremental=False)
+    incremental = _run(cfa, gp.race_var, incremental=True)
+    if scratch is None or incremental is None:
+        assert type(scratch) is type(incremental)
+        return
+    assert _observables(incremental) == _observables(scratch)
+    # Only the incremental run carries reuse telemetry.
+    assert scratch.stats.reuse is None
+    if type(incremental).__name__ != "CircUnknown":
+        assert incremental.stats.reuse is not None
+
+
+@settings(**SETTINGS)
+@given(seeds)
+def test_frontier_strategies_never_contradict(seed):
+    """A different worklist order surfaces a different abstract race
+    first, so refinement mines different predicates and may diverge to
+    UNKNOWN where BFS converges (or vice versa).  What frontiers must
+    never do is *contradict* each other: both definite verdicts agree."""
+    gp = generate(seed, GenConfig(pointers=False))
+    cfa = lower_thread(gp.program, gp.thread)
+    bfs = _run(cfa, gp.race_var, frontier="bfs")
+    dfs = _run(cfa, gp.race_var, frontier="dfs")
+    if bfs is None or dfs is None:
+        return
+    definite = (CircSafe, CircUnsafe)
+    if isinstance(bfs, definite) and isinstance(dfs, definite):
+        assert type(bfs).__name__ == type(dfs).__name__
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seeds)
+def test_shared_store_across_repeated_runs_is_stable(seed):
+    """Re-verifying the same program against a warm store changes
+    nothing observable and reports result-level reuse."""
+    gp = generate(seed, GenConfig(pointers=False))
+    cfa = lower_thread(gp.program, gp.thread)
+    store = ArgStore()
+    first = _run(cfa, gp.race_var, store=store)
+    second = _run(cfa, gp.race_var, store=store)
+    if first is None or second is None:
+        return
+    assert _observables(second) == _observables(first)
+    if second.stats.reuse is not None:
+        assert second.stats.reuse["result_hits"] > 0
