@@ -18,8 +18,18 @@ Subcommands
     (exact on finite-state programs).
 
 ``baselines FILE``
-    Run the Eraser-style lockset discipline and the stateless
-    thread-modular checker for comparison.
+    Run the comparison analyses: the two-phase racer (verdict +
+    witness/proofs), the abstract-interpretation pass, the Eraser-style
+    lockset discipline, and the stateless thread-modular checker.  The
+    exit code follows the racer's reconciled verdict with the same
+    mapping as ``check``.
+
+``portfolio FILE``
+    Race the witness-producing static detectors against CIRC with
+    cross-cancellation: the first confident verdict (sound proof or
+    replayed witness) cancels the rest.  ``--parallel`` runs CIRC in a
+    separate process so cancellation is two-way; win rates per workload
+    shape are learned into the cache directory and reorder the schedule.
 
 ``cfa FILE``
     Dump the thread's control flow automaton (text or Graphviz).
@@ -42,8 +52,11 @@ Subcommands
     nonzero; minimized reproducers can be persisted with ``--corpus``.
 
 Exit codes: 0 verified, 1 race found (or hard fuzz disagreement),
-2 usage/parse error, 3 budget exhausted (explore), 4 verification
-undecided (UNKNOWN verdict).
+2 usage/parse error or a portfolio verdict conflict (two confident
+analyses disagreed -- an internal soundness error, never silently
+resolved), 3 budget exhausted (explore), 4 verification undecided
+(UNKNOWN verdict).  ``check``, ``batch``, ``portfolio``, and
+``baselines`` all share this mapping via :func:`_verdict_exit`.
 """
 
 from __future__ import annotations
@@ -62,6 +75,25 @@ from .races.spec import racy_variables
 from .smt.terms import pretty
 
 __all__ = ["main"]
+
+#: The one verdict -> exit-code mapping every verifying subcommand uses.
+EXIT_OK = 0
+EXIT_RACE = 1
+EXIT_USAGE = 2
+EXIT_BUDGET = 3
+EXIT_UNKNOWN = 4
+
+
+def _verdict_exit(races: int, unknown: int) -> int:
+    """Exit code for a set of per-variable verdicts: any race wins,
+    then any undecided query, then success.  ``check``, ``batch``,
+    ``portfolio``, and ``baselines`` all route through here so their
+    exit codes can never drift apart."""
+    if races:
+        return EXIT_RACE
+    if unknown:
+        return EXIT_UNKNOWN
+    return EXIT_OK
 
 
 def _load(path: str, thread: str | None):
@@ -154,7 +186,7 @@ def _cmd_check(args) -> int:
         from .static import classify
 
         static_report = classify(cfa, variables)
-    status = 0
+    races = unknown = budget = 0
     reuse_totals: dict[str, int] = {}
     for var in variables:
         start = time.perf_counter()
@@ -166,22 +198,50 @@ def _cmd_check(args) -> int:
                     f"-- {vv.reason}]"
                 )
                 continue
+        portfolio_tag = ""
         try:
-            result = circ(
-                cfa,
-                race_on=var,
-                variant="omega" if args.omega else "circ",
-                k=args.k,
-                max_iterations=args.max_iterations,
-                timeout_s=args.timeout,
-                incremental=not args.no_incremental,
-                frontier=args.frontier,
-            )
+            if getattr(args, "portfolio", False):
+                from .portfolio import run_portfolio
+
+                source = Path(args.file).read_text()
+                preport = run_portfolio(
+                    cfa,
+                    var,
+                    source=source,
+                    thread=args.thread,
+                    parallel=args.parallel,
+                    variant="omega" if args.omega else "circ",
+                    k=args.k,
+                    max_iterations=args.max_iterations,
+                    timeout_s=args.timeout,
+                    incremental=not args.no_incremental,
+                    frontier=args.frontier,
+                )
+                result = preport.to_circ_result()
+                portfolio_tag = (
+                    f"    portfolio: won by {preport.winner or 'none'}"
+                    + (
+                        f", cancelled {', '.join(preport.cancelled)}"
+                        if preport.cancelled
+                        else ""
+                    )
+                )
+            else:
+                result = circ(
+                    cfa,
+                    race_on=var,
+                    variant="omega" if args.omega else "circ",
+                    k=args.k,
+                    max_iterations=args.max_iterations,
+                    timeout_s=args.timeout,
+                    incremental=not args.no_incremental,
+                    frontier=args.frontier,
+                )
         except (CircBudgetExceeded, CircInconclusive) as exc:
             result = exc.result
         except CircError as exc:
             print(f"{var}: UNDECIDED ({exc})")
-            status = 3
+            budget += 1
             continue
         # The verifier's own stats record is the single timing source
         # (the engine's JSONL events read the same field); the local
@@ -194,7 +254,7 @@ def _cmd_check(args) -> int:
                 reuse_totals[key] = reuse_totals.get(key, 0) + value
         if result.unknown:
             print(f"{var}: UNKNOWN  [{elapsed:.1f}s, {result.reason}]")
-            status = 4
+            unknown += 1
         elif result.safe:
             print(
                 f"{var}: SAFE  [{elapsed:.1f}s, "
@@ -206,18 +266,22 @@ def _cmd_check(args) -> int:
                     print(f"    predicate: {pretty(p)}")
                 print(result.context)
         else:
-            status = 1
+            races += 1
             print(
                 f"{var}: RACE  [{elapsed:.1f}s, "
                 f"{result.n_threads} threads]"
             )
             for tid, edge in result.steps:
                 print(f"    T{tid}: {edge.op}")
+        if portfolio_tag:
+            print(portfolio_tag)
     if args.stats:
         _print_smt_stats()
         if reuse_totals:
             _print_reuse_stats(reuse_totals)
-    return status
+    if budget and not races and not unknown:
+        return EXIT_BUDGET
+    return _verdict_exit(races, unknown)
 
 
 def _cmd_explore(args) -> int:
@@ -243,22 +307,163 @@ def _cmd_explore(args) -> int:
 
 
 def _cmd_baselines(args) -> int:
+    from .portfolio import absint_check, racer_check
+    from .races.report import rows_from_baselines
+
     cfa = _load(args.file, args.thread)
     variables = (
         [args.var] if args.var else sorted(racy_variables(cfa))
     )
     lockset = lockset_analysis(cfa)
+    races = unknown = 0
+    all_rows = []
     for var in variables:
+        racer = racer_check(cfa, var)
+        absint = absint_check(cfa, var)
+        stateless = thread_modular(cfa, var)
+        all_rows.extend(
+            rows_from_baselines(
+                model=Path(args.file).name,
+                variable=var,
+                racer=racer,
+                absint=absint,
+                lockset=lockset,
+                stateless=type(stateless).__name__,
+            )
+        )
+        if args.json:
+            continue
         locks = sorted(lockset.candidate.get(var, ()))
         print(f"{var}:")
+        print(
+            f"  racer:          {racer.verdict.upper()} "
+            f"({racer.reason})"
+        )
+        if racer.verdict == "race":
+            for tid, edge in racer.witness:
+                print(f"    T{tid}: {edge.op}")
+        for p in racer.pairs:
+            if p.status == "proved":
+                print(f"    pair {p.pair}: proved -- {p.reason}")
+        print(
+            f"  absint:         {absint.verdict.upper()} "
+            f"({absint.reason})"
+        )
         print(
             f"  lockset:        "
             f"{'WARNS' if lockset.warns_on(var) else 'ok'} "
             f"(candidate lockset {locks})"
         )
-        stateless = thread_modular(cfa, var)
         print(f"  thread-modular: {type(stateless).__name__}")
-    return 0
+        # Exit parity with check/batch follows the racer's reconciled
+        # verdict -- the one baseline whose claims carry proofs or
+        # replayed witnesses rather than warnings.
+        if racer.verdict == "race":
+            races += 1
+        elif racer.verdict == "unknown":
+            unknown += 1
+    if args.json:
+        import json
+
+        from .races.report import rows_to_payload
+
+        print(json.dumps(rows_to_payload(all_rows), indent=2))
+        races = sum(
+            1 for r in all_rows if r.source == "racer" and r.verdict == "race"
+        )
+        unknown = sum(
+            1
+            for r in all_rows
+            if r.source == "racer" and r.verdict == "unknown"
+        )
+    return _verdict_exit(races, unknown)
+
+
+def _cmd_portfolio(args) -> int:
+    from .portfolio import PortfolioConflict, WinRateBook, run_portfolio
+    from .races.report import (
+        render_rows_table,
+        rows_from_portfolio,
+        rows_to_payload,
+    )
+
+    source = Path(args.file).read_text()
+    cfa = lower_source(source, args.thread)
+    variables = (
+        [args.var] if args.var else sorted(racy_variables(cfa))
+    )
+    if not variables:
+        print("error: no written globals to check", file=sys.stderr)
+        return EXIT_USAGE
+
+    from .engine.cache import ArtifactCache
+    from .engine.events import EventLog
+
+    cache = None if args.no_cache else ArtifactCache(args.cache)
+    book = (
+        WinRateBook(Path(args.cache) / "winrates.json")
+        if not args.no_cache
+        else None
+    )
+    events = EventLog(args.events) if args.events else EventLog()
+    options = {}
+    if args.max_iterations is not None:
+        options["max_iterations"] = args.max_iterations
+    if args.timeout is not None:
+        options["timeout_s"] = args.timeout
+
+    races = unknown = 0
+    all_rows = []
+    try:
+        for var in variables:
+            report = run_portfolio(
+                cfa,
+                var,
+                source=source,
+                thread=args.thread,
+                cancel=not args.no_cancel,
+                parallel=args.parallel,
+                cache=cache,
+                events=events,
+                winrates=book,
+                **options,
+            )
+            all_rows.extend(
+                rows_from_portfolio(report, model=Path(args.file).name)
+            )
+            if report.verdict == "race":
+                races += 1
+            elif report.verdict == "unknown":
+                unknown += 1
+            if args.json:
+                continue
+            won = report.winner or "none"
+            cancelled = (
+                f", cancelled {', '.join(report.cancelled)}"
+                if report.cancelled
+                else ""
+            )
+            print(
+                f"{var}: {report.verdict.upper()}  "
+                f"[won by {won}{cancelled}, shape {report.shape}, "
+                f"{report.total_ms / 1000.0:.1f}s]"
+            )
+            if report.verdict == "race":
+                for tid, edge in report.witness:
+                    print(f"    T{tid}: {edge.op}")
+    except PortfolioConflict as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    finally:
+        events.close()
+    if args.json:
+        import json
+
+        print(json.dumps(rows_to_payload(all_rows), indent=2))
+    elif args.verbose:
+        print()
+        print(render_rows_table(all_rows))
+    return _verdict_exit(races, unknown)
 
 
 def _cmd_redundant(args) -> int:
@@ -444,6 +649,8 @@ def _cmd_batch(args) -> int:
         options["timeout_s"] = args.timeout
     if args.no_incremental:
         options["incremental"] = False
+    if args.portfolio:
+        options["portfolio"] = True
     report = run_batch(
         items,
         cache_dir=None if args.no_cache else args.cache,
@@ -477,11 +684,7 @@ def _cmd_batch(args) -> int:
             f"cache hit rate {summary['hit_rate']:.0%}; "
             f"{report.wall_ms / 1000.0:.1f}s"
         )
-    if report.races:
-        return 1
-    if report.unknown:
-        return 4
-    return 0
+    return _verdict_exit(len(report.races), len(report.unknown))
 
 
 def _cmd_fuzz(args) -> int:
@@ -609,6 +812,17 @@ def build_parser() -> argparse.ArgumentParser:
         default="bfs",
         help="worklist order for abstract exploration (default: bfs)",
     )
+    p.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="race the static detectors against CIRC with cross-cancellation",
+    )
+    p.add_argument(
+        "--parallel",
+        action="store_true",
+        help="with --portfolio: run CIRC in a separate process "
+        "(two-way cancellation)",
+    )
     p.set_defaults(func=_cmd_check)
 
     p = sub.add_parser(
@@ -630,11 +844,66 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--thread", help="thread name")
     p.set_defaults(func=_cmd_explore)
 
-    p = sub.add_parser("baselines", help="lockset and thread-modular checks")
+    p = sub.add_parser(
+        "baselines",
+        help="comparison analyses: racer, absint, lockset, thread-modular",
+    )
     p.add_argument("file")
     p.add_argument("--var")
     p.add_argument("--thread")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_baselines)
+
+    p = sub.add_parser(
+        "portfolio",
+        help="static detectors race CIRC with cross-cancellation",
+    )
+    p.add_argument("file")
+    p.add_argument("--var", help="global variable to check")
+    p.add_argument("--thread", help="thread name for multi-thread files")
+    p.add_argument(
+        "--parallel",
+        action="store_true",
+        help="run CIRC in a separate process (two-way cancellation)",
+    )
+    p.add_argument(
+        "--no-cancel",
+        action="store_true",
+        help="run every analysis to completion (no cross-cancellation)",
+    )
+    p.add_argument(
+        "--cache",
+        default=".repro-cache",
+        metavar="DIR",
+        help="artifact cache / win-rate book directory (default: .repro-cache)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the artifact cache and win-rate learning",
+    )
+    p.add_argument(
+        "--events", metavar="FILE", help="append JSONL telemetry to FILE"
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="print the per-analysis report table",
+    )
+    p.add_argument(
+        "--max-iterations",
+        type=int,
+        help="CIRC refinement iteration budget (UNKNOWN when hit)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="CIRC wall-clock budget (UNKNOWN when hit)",
+    )
+    p.set_defaults(func=_cmd_portfolio)
 
     p = sub.add_parser(
         "redundant", help="find synchronization unnecessary for race freedom"
@@ -720,6 +989,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-incremental",
         action="store_true",
         help="run every CIRC job without the persistent ArgStore",
+    )
+    p.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="resolve each job through the analysis portfolio "
+        "(racer/absint/CIRC with cross-cancellation)",
     )
     p.set_defaults(func=_cmd_batch)
 

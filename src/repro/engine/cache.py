@@ -175,6 +175,49 @@ class ArtifactCache:
             json.dumps(body, sort_keys=True, indent=1),
         )
 
+    # -- generic blobs -------------------------------------------------------
+
+    def _blob_path(self, kind: str, key: str) -> Path:
+        digest = hashlib.sha256(
+            f"{CACHE_FORMAT}\nblob\n{kind}\n{key}".encode()
+        ).hexdigest()
+        return self.root / kind / digest[:2] / f"{digest}.json"
+
+    def get_blob(self, kind: str, key: str) -> Any | None:
+        """Look up an auxiliary analysis artifact (e.g. an abstract-
+        interpretation summary) by namespace + key.
+
+        Blobs get the same robustness discipline as verdict objects --
+        checksummed payloads, corruption treated as a miss with the file
+        quarantined -- but none of the verdict-specific schema: the
+        payload is arbitrary JSON owned by the storing analysis.
+        """
+        path = self._blob_path(kind, key)
+        payload = self._read_checked(path, field="data")
+        if payload is None:
+            self.misses += 1
+            return None
+        if payload.get("format") != CACHE_FORMAT or payload.get("key") != key:
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["data"]
+
+    def put_blob(self, kind: str, key: str, data: Any) -> None:
+        """Store an auxiliary analysis artifact (atomic, checksummed)."""
+        body = {
+            "format": CACHE_FORMAT,
+            "kind": kind,
+            "key": key,
+            "data": data,
+        }
+        body["checksum"] = _payload_checksum(body["data"])
+        _atomic_write(
+            self._blob_path(kind, key),
+            json.dumps(body, sort_keys=True, indent=1),
+        )
+
     # -- warm-start index ----------------------------------------------------
 
     def _put_shape(

@@ -160,6 +160,9 @@ def verify_one(
     """
     events = events or EventLog()
     cache = ArtifactCache(cache_dir) if cache_dir is not None else None
+    # The fingerprint sees the full option dict (including ``portfolio``,
+    # which is salient) before the flag is popped below, so portfolio and
+    # CIRC-only runs never serve each other's cache entries.
     fp = options_fingerprint(circ_options)
     digest = slice_digest(cfa, variable)
     if cache is not None:
@@ -178,8 +181,28 @@ def verify_one(
             existing = tuple(options.pop("initial_predicates", ()))
             options["initial_predicates"] = existing + seeds
 
+    portfolio = options.pop("portfolio", False)
     try:
-        result: CircResult = circ(cfa, race_on=variable, **options)
+        if portfolio:
+            from ..portfolio.driver import run_portfolio
+            from ..portfolio.winrate import WinRateBook
+
+            book = (
+                WinRateBook(cache.root / "winrates.json")
+                if cache is not None
+                else None
+            )
+            report = run_portfolio(
+                cfa,
+                variable,
+                cache=cache,
+                winrates=book,
+                events=events,
+                **options,
+            )
+            result: CircResult = report.to_circ_result()
+        else:
+            result = circ(cfa, race_on=variable, **options)
     except (CircBudgetExceeded, CircInconclusive) as exc:
         result = exc.result
     if cache is not None:

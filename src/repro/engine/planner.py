@@ -97,6 +97,10 @@ _SALIENT_OPTIONS = (
     "max_states",
     "max_iterations",
     "timeout_s",
+    # Portfolio runs may resolve a query with a baseline analysis, so
+    # their artifacts must never serve a CIRC-only lookup (or vice
+    # versa): the flag keys the cache like any verdict-relevant option.
+    "portfolio",
 )
 
 

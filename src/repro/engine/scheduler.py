@@ -46,8 +46,14 @@ def _run_job_payload(payload: dict) -> dict:
 
         if multiprocessing.parent_process() is not None:
             os._exit(137)  # simulate a crashed/OOM-killed worker
+    # Imported here, not at module top: the portfolio package sits on
+    # the engine's cache/events modules, so a top-level import would
+    # close an import cycle through the engine package __init__.
+    from ..portfolio.driver import PortfolioConflict
+
     start = time.perf_counter()
     variable = payload["variable"]
+    extras: dict = {}
     try:
         cfa = lower_source(payload["source"], payload["thread"])
         options = dict(payload["options"])
@@ -57,7 +63,12 @@ def _run_job_payload(payload: dict) -> dict:
         if seeds:
             existing = tuple(options.pop("initial_predicates", ()))
             options["initial_predicates"] = existing + seeds
-        result = circ(cfa, race_on=variable, **options)
+        if options.pop("portfolio", False):
+            result = _run_portfolio_job(
+                cfa, variable, payload, options, extras
+            )
+        else:
+            result = circ(cfa, race_on=variable, **options)
     except CircBudgetExceeded as exc:
         result = exc.result
     except CircError as exc:
@@ -67,6 +78,18 @@ def _run_job_payload(payload: dict) -> dict:
             predicates=(),
             stats=CircStats(),
         )
+    except PortfolioConflict as exc:
+        # A confident disagreement between analyses is evidence of an
+        # unsoundness bug.  It must not sink the batch, but it must stay
+        # loudly visible: the verdict is UNKNOWN (never either party's
+        # claim) and the reason names the conflict for the event log.
+        result = CircUnknown(
+            variable=variable,
+            reason=f"PORTFOLIO CONFLICT: {exc.detail}",
+            predicates=(),
+            stats=CircStats(),
+        )
+        extras["conflict"] = exc.detail
     except Exception as exc:  # a verifier bug must not sink the batch
         result = CircUnknown(
             variable=variable,
@@ -80,17 +103,59 @@ def _run_job_payload(payload: dict) -> dict:
     # paths where circ never finalized its stats (lowering failures,
     # internal errors).
     elapsed_ms = (time.perf_counter() - start) * 1000.0
-    if result.stats.elapsed_seconds > 0.0:
+    if result.stats.elapsed_seconds > 0.0 and not extras:
         elapsed_ms = result.stats.elapsed_seconds * 1000.0
-    return {
+    record = {
         "job_id": payload["job_id"],
         "result": result_to_obj(result),
         "warm": bool(payload.get("seed_predicates")),
         "elapsed_ms": elapsed_ms,
     }
+    record.update(extras)
+    return record
 
 
-def _job_payload(job: Job, seeds: tuple, test_kill: bool = False) -> dict:
+def _run_portfolio_job(cfa, variable, payload, options, extras):
+    """Resolve one job through the analysis portfolio.
+
+    The worker rebuilds its own handles on the shared cache root (blob
+    reads/writes are atomic and checksummed, and the win-rate book's
+    last-writer-wins save is fine for counters), so warm absint
+    summaries and learned scheduling order survive across batch workers.
+    """
+    from ..portfolio.driver import run_portfolio
+    from ..portfolio.winrate import WinRateBook
+
+    cache_root = payload.get("cache_root")
+    cache = ArtifactCache(cache_root) if cache_root else None
+    book = (
+        WinRateBook(os.path.join(cache_root, "winrates.json"))
+        if cache_root
+        else None
+    )
+    report = run_portfolio(
+        cfa,
+        variable,
+        source=payload["source"],
+        thread=payload["thread"],
+        cache=cache,
+        winrates=book,
+        **options,
+    )
+    extras["portfolio_winner"] = report.winner
+    extras["portfolio_cancelled"] = list(report.cancelled)
+    extras["portfolio_ms"] = {
+        o.analysis: round(o.time_ms, 3) for o in report.outcomes
+    }
+    return report.to_circ_result()
+
+
+def _job_payload(
+    job: Job,
+    seeds: tuple,
+    test_kill: bool = False,
+    cache_root: str | None = None,
+) -> dict:
     payload = {
         "job_id": job.job_id,
         "source": job.source,
@@ -99,6 +164,8 @@ def _job_payload(job: Job, seeds: tuple, test_kill: bool = False) -> dict:
         "options": dict(job.options),
         "seed_predicates": [term_to_obj(p) for p in seeds],
     }
+    if cache_root is not None and job.options.get("portfolio"):
+        payload["cache_root"] = cache_root
     if test_kill:
         payload["_test_kill_worker"] = True
     return payload
@@ -134,7 +201,11 @@ def _finish(
 ) -> None:
     """Cache, log, and fan out one computed job record."""
     result = result_from_obj(record["result"])
-    source = "circ-warm" if record.get("warm") else "circ"
+    if "portfolio_winner" in record:
+        winner = record["portfolio_winner"] or "none"
+        source = f"portfolio:{winner}"
+    else:
+        source = "circ-warm" if record.get("warm") else "circ"
     if cache is not None:
         cache.put(
             job.digest,
@@ -154,6 +225,16 @@ def _finish(
             v for k, v in reuse.items() if k.endswith("_hits")
         ),
         store_digest=result.stats.store_digest or "",
+        **{
+            k: record[k]
+            for k in (
+                "portfolio_winner",
+                "portfolio_cancelled",
+                "portfolio_ms",
+                "conflict",
+            )
+            if k in record
+        },
     )
     _fan_out(job, record, source, results)
 
@@ -263,7 +344,12 @@ def execute(
                 )
         pending[job.job_id] = (
             job,
-            _job_payload(job, seeds, _test_kill_first_attempt),
+            _job_payload(
+                job,
+                seeds,
+                _test_kill_first_attempt,
+                cache_root=str(cache.root) if cache is not None else None,
+            ),
         )
 
     if not pending:

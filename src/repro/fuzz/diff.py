@@ -1,10 +1,12 @@
 """Differential runner: every verdict path against the reference oracle.
 
-Each generated program is pushed through six verdict paths -- plain
+Each generated program is pushed through eight verdict paths -- plain
 ``circ()``, ``check_race(prefilter=True)``, the batch engine cold and
 warm (two :func:`~repro.engine.verify_one` calls against one fresh
-cache directory), and the lockset/flowcheck baselines -- and every
-verdict is compared against the :mod:`repro.fuzz.oracle` verdict.
+cache directory), the lockset/flowcheck baselines, the two-phase
+``racer`` detector, and the cross-cancelling ``portfolio`` driver --
+and every verdict is compared against the :mod:`repro.fuzz.oracle`
+verdict.
 
 Disagreement taxonomy (``HARD_CLASSES`` fail the build):
 
@@ -23,9 +25,14 @@ Disagreement taxonomy (``HARD_CLASSES`` fail the build):
   possible (logged).
 
 Safe claims are interpreted at the strength each path advertises: the
-CIRC-family paths and both baselines all claim safety for *unboundedly
-many* threads, so any concrete witness at any thread count convicts
-them regardless of the oracle's certificate bound.
+CIRC-family paths, both warning baselines, the racer (whose ``safe``
+only ever comes from phase-1 unbounded kill-rule proofs), and the
+portfolio (which only relays its members' confident claims) all claim
+safety for *unboundedly many* threads, so any concrete witness at any
+thread count convicts them regardless of the oracle's certificate
+bound.  The abstract-interpretation pass has no standalone path: it can
+never answer ``race``, so it is exercised inside the portfolio instead
+of trivially failing the all-paths-agree discipline on racy programs.
 """
 
 from __future__ import annotations
@@ -64,7 +71,16 @@ __all__ = [
 ]
 
 #: The verdict paths under differential test, in reporting order.
-PATHS = ("circ", "prefilter", "engine-cold", "engine-warm", "lockset", "flow")
+PATHS = (
+    "circ",
+    "prefilter",
+    "engine-cold",
+    "engine-warm",
+    "lockset",
+    "flow",
+    "racer",
+    "portfolio",
+)
 
 #: Disagreement classes that must fail a fuzz run (and the CI build).
 HARD_CLASSES = frozenset({"unsoundness", "witness", "oracle", "crash"})
@@ -157,8 +173,12 @@ class FuzzReport:
 
 
 def _run_paths(cfa: CFA, race_var: str, config: FuzzConfig) -> list[PathResult]:
-    """Execute all six verdict paths on one lowered thread template."""
+    """Execute every verdict path of :data:`PATHS` on one lowered
+    thread template."""
     import tempfile
+
+    from ..portfolio.driver import run_portfolio
+    from ..portfolio.racer import racer_check
 
     opts = config.circ_kwargs()
     results: list[PathResult] = []
@@ -227,6 +247,32 @@ def _run_paths(cfa: CFA, race_var: str, config: FuzzConfig) -> list[PathResult]:
             else ("safe", 0, (), "all access sites atomic or read-only")
         ),
     )
+
+    def from_racer() -> tuple:
+        r = racer_check(
+            cfa,
+            race_var,
+            max_threads=config.max_threads,
+            max_states=config.max_states,
+        )
+        return r.verdict, r.n_threads, r.witness, r.reason
+
+    run("racer", from_racer)
+
+    def from_portfolio() -> tuple:
+        # Serial, cancelling portfolio: with cancellation on, at most one
+        # confident verdict exists per run, so a PortfolioConflict here
+        # would mean a witness failed replay -- a genuine crash-class
+        # finding, which the generic handler in run() reports as such.
+        report = run_portfolio(cfa, race_var, **opts)
+        return (
+            report.verdict,
+            report.n_threads,
+            report.witness,
+            f"won by {report.winner or 'none'}",
+        )
+
+    run("portfolio", from_portfolio)
     return results
 
 
@@ -345,7 +391,8 @@ def check_one(
     config: FuzzConfig | None = None,
     events: EventLog | None = None,
 ) -> CheckOutcome:
-    """Run the oracle plus all six verdict paths on one program.
+    """Run the oracle plus every verdict path of :data:`PATHS` on one
+    program.
 
     This is the unit of work shared by :func:`run_fuzz`, the shrinker's
     still-failing predicate, and the committed-corpus replay test.

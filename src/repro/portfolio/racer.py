@@ -1,0 +1,355 @@
+"""RacerF-style two-phase static race detection with concrete witnesses.
+
+Phase 1 (cheap, whole-template) computes the three classic pruning
+facts -- may-escape sets, monitor-aware must-locksets, and the MHP
+relation of :mod:`repro.static.mhp` -- and records a *per-pair proof*
+for every conflicting access pair one of the kill rules refutes
+(unreachable site, atomic exclusion, common monitor).
+
+Phase 2 (per surviving pair) searches bounded symmetric interleavings
+for a concrete schedule that co-locates the pair in a race state.  Every
+hit is replayed through the explicit-state interpreter before it is
+believed; a witness that fails replay is discarded, never reported.
+
+The verdict discipline is the point of the exercise -- never a bare
+warning:
+
+* ``race``   -- some pair has a **replayed** interleaving witness;
+* ``safe``   -- *every* conflicting pair carries a phase-1 proof (this
+  is the same sound, unbounded-thread-count argument the static
+  classifier makes: no conflicting pair, no race state);
+* ``unknown`` -- some pair survived phase 1 but the bounded search found
+  no witness.  The pair is explicitly *undecided*, and the caller (the
+  portfolio driver) hands it to CIRC rather than alarming a human.
+
+Safety claims are therefore exactly as strong as CIRC's (unbounded), and
+race claims carry evidence the interpreter accepts -- which is what lets
+the portfolio driver cancel a CIRC run on either verdict.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..baselines.lockset import ATOMIC_LOCK, may_escape, must_locksets
+from ..cfa.cfa import CFA, Edge
+from ..exec.interp import ConcreteState, MultiProgram, replay
+from ..static.mhp import MhpReport, mhp_analysis
+from ..static.protect import Monitor, infer_monitors
+
+__all__ = ["PairStatus", "RacerReport", "racer_check"]
+
+
+@dataclass(frozen=True)
+class PairStatus:
+    """What phase 1 or phase 2 established about one conflicting pair.
+
+    ``status`` is ``proved`` (phase-1 kill rule, ``reason`` names it),
+    ``witnessed`` (``witness`` replays in the interpreter), or
+    ``undecided`` (survived phase 1, no witness within the budget).
+    """
+
+    pair: tuple[int, int]
+    status: str  # 'proved' | 'witnessed' | 'undecided'
+    reason: str = ""
+    witness: tuple[tuple[int, Edge], ...] = ()
+    n_threads: int = 0
+
+
+@dataclass
+class RacerReport:
+    """The two-phase detector's answer for one (template, variable) query."""
+
+    variable: str
+    verdict: str  # 'safe' | 'race' | 'unknown'
+    reason: str
+    pairs: tuple[PairStatus, ...]
+    #: The replayed witness backing a ``race`` verdict (else empty).
+    witness: tuple[tuple[int, Edge], ...] = ()
+    n_threads: int = 0
+    phase1_ms: float = 0.0
+    phase2_ms: float = 0.0
+    states_explored: int = 0
+    #: True when a cancellation callback stopped phase 2 early.
+    cancelled: bool = False
+
+    @property
+    def undecided_pairs(self) -> tuple[PairStatus, ...]:
+        return tuple(p for p in self.pairs if p.status == "undecided")
+
+
+def _pair_proof(mhp: MhpReport, q1: int, q2: int) -> str:
+    """Name the phase-1 kill rule that refutes co-occupation of a pair."""
+    if q1 not in mhp.reachable or q2 not in mhp.reachable:
+        return "unreachable access site"
+    if q1 in mhp.atomic or q2 in mhp.atomic:
+        return "atomic exclusion (no race state has an atomic occupant)"
+    common = sorted(mhp.excluded_by(q1, q2))
+    if common:
+        names = ", ".join(
+            "atomic sections" if m == ATOMIC_LOCK else f"monitor {m!r}"
+            for m in common
+        )
+        return f"mutual exclusion via {names}"
+    return "excluded by MHP"
+
+
+def _candidate_pairs(
+    cfa: CFA, mhp: MhpReport, variable: str
+) -> list[tuple[int, int]]:
+    """Every unordered access pair with a write, *before* kill rules.
+
+    Phase 1 owes each of these either a proof or a hand-off to phase 2;
+    reachability is judged by the MHP report, so sites follow the same
+    definition as :meth:`MhpReport.conflicting_pairs` except that killed
+    pairs are kept (to be proved) rather than dropped.
+    """
+    sites = sorted(
+        q for q in cfa.locations if variable in cfa.accesses_at(q)
+    )
+    writes = {q for q in sites if variable in cfa.writes_at(q)}
+    pairs = []
+    for i, q1 in enumerate(sites):
+        for q2 in sites[i:]:
+            if q1 in writes or q2 in writes:
+                pairs.append((q1, q2))
+    return pairs
+
+
+def _pair_hit(
+    program: MultiProgram,
+    state: ConcreteState,
+    pair: tuple[int, int],
+) -> bool:
+    """Is ``state`` a race state in which two threads occupy ``pair``?
+
+    The pair came from the conflicting-pair enumeration, so the
+    access/write side conditions hold structurally; what remains is
+    co-occupation by distinct threads with no atomic occupant.
+    """
+    if program.atomic_thread(state) is not None:
+        return False
+    q1, q2 = pair
+    holders1 = [i for i, (pc, _) in enumerate(state.threads) if pc == q1]
+    holders2 = [i for i, (pc, _) in enumerate(state.threads) if pc == q2]
+    for i in holders1:
+        for j in holders2:
+            if i != j:
+                return True
+    return False
+
+
+def _search_witnesses(
+    cfa: CFA,
+    variable: str,
+    targets: list[tuple[int, int]],
+    n_threads: int,
+    max_states: int,
+    should_stop: Optional[Callable[[], bool]],
+) -> tuple[dict[tuple[int, int], tuple[tuple[int, Edge], ...]], int, bool]:
+    """One BFS over ``n_threads`` symmetric copies, watching every target.
+
+    Returns (witnesses found, states visited, stopped-early).  Unlike
+    :func:`repro.exec.interp.explore` the search does not stop at the
+    first bad state: it keeps going until every target pair has a
+    witness or the budget runs out, so one pass serves all pairs.
+    """
+    program = MultiProgram.symmetric(cfa, n_threads)
+    init = program.initial()
+    parent: dict[ConcreteState, tuple[ConcreteState, int, Edge] | None] = {
+        init: None
+    }
+    found: dict[tuple[int, int], tuple[tuple[int, Edge], ...]] = {}
+    remaining = set(targets)
+
+    def trace_to(state: ConcreteState) -> tuple[tuple[int, Edge], ...]:
+        steps: list[tuple[int, Edge]] = []
+        cur = state
+        while parent[cur] is not None:
+            prev, thread, edge = parent[cur]
+            steps.append((thread, edge))
+            cur = prev
+        steps.reverse()
+        return tuple(steps)
+
+    def note(state: ConcreteState) -> None:
+        if not program.is_race_state(state, variable):
+            return
+        for pair in list(remaining):
+            if _pair_hit(program, state, pair):
+                found[pair] = trace_to(state)
+                remaining.discard(pair)
+
+    note(init)
+    frontier = [init]
+    visited = 1
+    stopped = False
+    while frontier and remaining:
+        if should_stop is not None and should_stop():
+            stopped = True
+            break
+        next_frontier: list[ConcreteState] = []
+        for state in frontier:
+            for thread, edge, nxt in program.successors(state):
+                if nxt in parent:
+                    continue
+                parent[nxt] = (state, thread, edge)
+                visited += 1
+                note(nxt)
+                if not remaining or visited >= max_states:
+                    return found, visited, stopped
+                next_frontier.append(nxt)
+        frontier = next_frontier
+    return found, visited, stopped
+
+
+def racer_check(
+    cfa: CFA,
+    variable: str,
+    max_threads: int = 3,
+    max_states: int = 20_000,
+    monitors: tuple[Monitor, ...] | None = None,
+    mhp: MhpReport | None = None,
+    should_stop: Optional[Callable[[], bool]] = None,
+) -> RacerReport:
+    """Run both phases for one shared variable.
+
+    ``should_stop`` is polled between exploration rounds so the
+    portfolio driver can cancel a search once another analysis has
+    produced a confident verdict; a cancelled report is always
+    ``unknown`` and flagged ``cancelled``.
+    """
+    start = time.perf_counter()
+    if monitors is None:
+        monitors = infer_monitors(cfa)
+    if mhp is None:
+        mhp = mhp_analysis(cfa, monitors)
+
+    # Phase 1: escape + locksets + MHP, with a proof per killed pair.
+    escaped = may_escape(cfa)
+    locks = must_locksets(cfa, monitors)
+    if variable not in escaped:
+        phase1_ms = (time.perf_counter() - start) * 1000.0
+        return RacerReport(
+            variable=variable,
+            verdict="safe",
+            reason="does not escape: no reachable access site",
+            pairs=(),
+            phase1_ms=phase1_ms,
+        )
+    candidates = _candidate_pairs(cfa, mhp, variable)
+    surviving = set(mhp.conflicting_pairs(cfa, variable))
+    statuses: list[PairStatus] = []
+    for pair in candidates:
+        if pair not in surviving:
+            statuses.append(
+                PairStatus(
+                    pair=pair,
+                    status="proved",
+                    reason=_pair_proof(mhp, *pair),
+                )
+            )
+    phase1_ms = (time.perf_counter() - start) * 1000.0
+    if not candidates:
+        return RacerReport(
+            variable=variable,
+            verdict="safe",
+            reason="no write at any access pair (read-only or unwritten)",
+            pairs=tuple(statuses),
+            phase1_ms=phase1_ms,
+        )
+    if not surviving:
+        held = sorted(
+            frozenset.intersection(
+                *(locks[q] for pair in candidates for q in pair)
+            )
+        )
+        what = (
+            "common " + ", ".join(held) if held else "pairwise exclusion"
+        )
+        return RacerReport(
+            variable=variable,
+            verdict="safe",
+            reason=f"every conflicting pair proved impossible ({what})",
+            pairs=tuple(statuses),
+            phase1_ms=phase1_ms,
+        )
+
+    # Phase 2: pair-targeted bounded witness search, smallest bound first.
+    p2_start = time.perf_counter()
+    pending = sorted(surviving)
+    witnesses: dict[tuple[int, int], tuple[tuple[int, Edge], ...]] = {}
+    thread_count: dict[tuple[int, int], int] = {}
+    states_total = 0
+    stopped = False
+    for n in range(2, max_threads + 1):
+        if not pending or stopped:
+            break
+        found, visited, stopped = _search_witnesses(
+            cfa, variable, pending, n, max_states, should_stop
+        )
+        states_total += visited
+        for pair, steps in found.items():
+            program = MultiProgram.symmetric(cfa, n)
+            ok, _ = replay(program, list(steps), race_on=variable)
+            if not ok:
+                continue  # forged evidence is worse than none: drop it
+            witnesses[pair] = steps
+            thread_count[pair] = n
+        pending = [p for p in pending if p not in witnesses]
+
+    for pair in sorted(surviving):
+        if pair in witnesses:
+            statuses.append(
+                PairStatus(
+                    pair=pair,
+                    status="witnessed",
+                    reason="interleaving replayed in the interpreter",
+                    witness=witnesses[pair],
+                    n_threads=thread_count[pair],
+                )
+            )
+        else:
+            statuses.append(
+                PairStatus(
+                    pair=pair,
+                    status="undecided",
+                    reason=(
+                        "cancelled before a verdict"
+                        if stopped
+                        else f"no witness within {max_threads} threads / "
+                        f"{max_states} states"
+                    ),
+                )
+            )
+    statuses.sort(key=lambda s: s.pair)
+    phase2_ms = (time.perf_counter() - p2_start) * 1000.0
+
+    if witnesses:
+        best = min(witnesses, key=lambda p: len(witnesses[p]))
+        return RacerReport(
+            variable=variable,
+            verdict="race",
+            reason=f"pair {best} has a replayed interleaving witness",
+            pairs=tuple(statuses),
+            witness=witnesses[best],
+            n_threads=thread_count[best],
+            phase1_ms=phase1_ms,
+            phase2_ms=phase2_ms,
+            states_explored=states_total,
+        )
+    return RacerReport(
+        variable=variable,
+        verdict="unknown",
+        reason=(
+            f"{len(pending)} pair(s) undecided: survived phase 1, "
+            "no bounded witness"
+        ),
+        pairs=tuple(statuses),
+        phase1_ms=phase1_ms,
+        phase2_ms=phase2_ms,
+        states_explored=states_total,
+        cancelled=stopped,
+    )

@@ -1,0 +1,112 @@
+"""Per-analysis win-rate accounting, keyed by workload shape class.
+
+The portfolio's latency story depends on scheduling the analysis most
+likely to decide a query *first*: every later analysis is wasted work
+once cross-cancellation fires.  The right order differs by workload --
+lock-disciplined templates fall to the racer's phase 1 instantly,
+value-guarded ones need the interval domain, data-dependent protocols
+need CIRC -- so wins are counted per *shape class*, a coarse bucketing
+of the query (synchronization style x template size), not globally.
+
+The book is deliberately tiny and JSON-backed: it lives under the
+artifact cache root, survives across runs, and its counters are also
+emitted into the JSONL telemetry (``portfolio_winrates`` events) so the
+engine's planner -- or a human reading the log -- can see which analysis
+earns its slot per workload shape.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..cfa.cfa import CFA
+
+__all__ = ["WinRateBook", "shape_class", "DEFAULT_ORDER"]
+
+#: Static cost order: cheapest analysis first until the book learns better.
+DEFAULT_ORDER = ("racer", "absint", "circ")
+
+
+def shape_class(cfa: CFA, variable: str) -> str:
+    """A coarse workload-shape bucket for one (template, variable) query.
+
+    Intentionally lossy: the book needs enough traffic per bucket to
+    learn from, so the key only captures what plausibly changes the
+    winner -- how the template synchronizes and how big it is.
+    """
+    if any(e.lock_info for e in cfa.edges):
+        sync = "locked"
+    elif cfa.atomic:
+        sync = "atomic"
+    else:
+        sync = "bare"
+    size = "small" if len(cfa.locations) <= 16 else "large"
+    return f"{sync}/{size}"
+
+
+class WinRateBook:
+    """Win/run/latency counters per (shape class, analysis).
+
+    A *win* is a confident verdict (a proof or a replayed witness) that
+    decided the query; *runs* counts every completed, non-cancelled
+    attempt.  ``order`` ranks analyses for a shape by observed win rate
+    (ties broken by mean latency, then by the static cost order), so an
+    unseen shape starts at :data:`DEFAULT_ORDER` and the book only
+    reorders once it has evidence.
+    """
+
+    def __init__(self, path: str | os.PathLike | None = None):
+        self.path = Path(path) if path is not None else None
+        self.counts: dict[str, dict[str, dict[str, float]]] = {}
+        if self.path is not None and self.path.exists():
+            try:
+                raw = json.loads(self.path.read_text())
+                if isinstance(raw, dict):
+                    self.counts = raw.get("shapes", {})
+            except (OSError, ValueError):
+                self.counts = {}  # a corrupt book relearns from scratch
+
+    def record(
+        self, shape: str, analysis: str, won: bool, time_ms: float
+    ) -> None:
+        cell = self.counts.setdefault(shape, {}).setdefault(
+            analysis, {"wins": 0, "runs": 0, "total_ms": 0.0}
+        )
+        cell["runs"] += 1
+        cell["wins"] += 1 if won else 0
+        cell["total_ms"] += time_ms
+
+    def win_rate(self, shape: str, analysis: str) -> float:
+        cell = self.counts.get(shape, {}).get(analysis)
+        if not cell or not cell["runs"]:
+            return 0.0
+        return cell["wins"] / cell["runs"]
+
+    def order(
+        self, shape: str, analyses: tuple[str, ...] = DEFAULT_ORDER
+    ) -> tuple[str, ...]:
+        """Schedule order for a shape: highest win rate first."""
+        base = {name: i for i, name in enumerate(DEFAULT_ORDER)}
+
+        def rank(name: str) -> tuple:
+            cell = self.counts.get(shape, {}).get(name)
+            if not cell or not cell["runs"]:
+                return (0.0, 0.0, base.get(name, len(base)))
+            rate = cell["wins"] / cell["runs"]
+            mean_ms = cell["total_ms"] / cell["runs"]
+            return (-rate, mean_ms, base.get(name, len(base)))
+
+        return tuple(sorted(analyses, key=rank))
+
+    def to_obj(self) -> dict:
+        return {"shapes": self.counts}
+
+    def save(self) -> None:
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(self.to_obj(), indent=1, sort_keys=True))
+        os.replace(tmp, self.path)

@@ -31,6 +31,8 @@ __all__ = [
     "render_rows_table",
     "rows_from_static",
     "rows_from_batch",
+    "rows_from_portfolio",
+    "rows_from_baselines",
 ]
 
 #: Version tag of the machine-readable row schema shared by
@@ -49,7 +51,8 @@ class ReportRow:
     * ``variable`` -- the shared variable checked;
     * ``verdict`` -- ``safe`` | ``race`` | ``unknown``;
     * ``source`` -- which layer produced the verdict (``static``,
-      ``cache``, ``circ``, ``circ-warm``);
+      ``cache``, ``circ``, ``circ-warm``, ``portfolio:<analysis>``, or a
+      baseline analysis name);
     * ``time_ms`` -- wall-clock spent on this query, milliseconds.
     """
 
@@ -129,6 +132,107 @@ def rows_from_batch(report) -> list[ReportRow]:
         )
         for r in report.rows
     ]
+
+
+def rows_from_portfolio(report, model: str) -> list[ReportRow]:
+    """Shared-schema rows for one portfolio run: the reconciled verdict
+    first (source ``portfolio:<winner>``), then one row per analysis so
+    the report preserves who ran, who was cancelled, and how long each
+    attempt took.  A cancelled analysis reports ``unknown`` -- it made
+    no claim -- with the cancellation recorded in ``detail``.
+    """
+    winner = report.winner or "none"
+    rows = [
+        ReportRow(
+            model=model,
+            variable=report.variable,
+            verdict=report.verdict,
+            source=f"portfolio:{winner}",
+            time_ms=report.total_ms,
+            detail=f"shape {report.shape}",
+        )
+    ]
+    for o in report.outcomes:
+        rows.append(
+            ReportRow(
+                model=model,
+                variable=report.variable,
+                verdict="unknown" if o.cancelled else o.verdict,
+                source=o.analysis,
+                time_ms=o.time_ms,
+                detail=o.detail,
+            )
+        )
+    return rows
+
+
+def rows_from_baselines(
+    model: str,
+    variable: str,
+    racer=None,
+    absint=None,
+    lockset=None,
+    stateless: str | None = None,
+) -> list[ReportRow]:
+    """Shared-schema rows for the ``baselines`` subcommand.
+
+    The Eraser lockset discipline emits warnings, not verdicts, so its
+    row is ``unknown``-on-warn (a warning proves nothing) and ``safe``
+    only in the discipline's own limited sense -- the detail string keeps
+    the distinction honest.  The racer and absint rows carry real
+    verdicts with the standard meaning.
+    """
+    rows = []
+    if racer is not None:
+        rows.append(
+            ReportRow(
+                model=model,
+                variable=variable,
+                verdict=racer.verdict,
+                source="racer",
+                time_ms=racer.phase1_ms + racer.phase2_ms,
+                detail=racer.reason,
+            )
+        )
+    if absint is not None:
+        rows.append(
+            ReportRow(
+                model=model,
+                variable=variable,
+                verdict=absint.verdict,
+                source="absint",
+                time_ms=absint.time_ms,
+                detail=absint.reason,
+            )
+        )
+    if lockset is not None:
+        warns = lockset.warns_on(variable)
+        locks = sorted(lockset.candidate.get(variable, ()))
+        rows.append(
+            ReportRow(
+                model=model,
+                variable=variable,
+                verdict="unknown" if warns else "safe",
+                source="lockset",
+                time_ms=0.0,
+                detail=(
+                    f"{'warns' if warns else 'consistent discipline'}; "
+                    f"candidate lockset {locks}"
+                ),
+            )
+        )
+    if stateless is not None:
+        rows.append(
+            ReportRow(
+                model=model,
+                variable=variable,
+                verdict="safe" if stateless == "StatelessSafe" else "unknown",
+                source="thread-modular",
+                time_ms=0.0,
+                detail=stateless,
+            )
+        )
+    return rows
 
 
 @dataclass

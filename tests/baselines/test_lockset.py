@@ -1,6 +1,17 @@
-"""Unit tests for the Eraser-style lockset baseline."""
+"""Unit tests for the Eraser-style lockset baseline.
 
-from repro.baselines.lockset import ATOMIC_LOCK, lockset_analysis
+Also covers the phase-1 primitives the portfolio racer builds on:
+:func:`may_escape` (which globals can be observed by another thread)
+and :func:`must_locksets` (monitor-aware synchronization surely held).
+"""
+
+from repro.baselines.lockset import (
+    ATOMIC_LOCK,
+    lockset_analysis,
+    may_escape,
+    must_locksets,
+)
+from repro.circ.circ import circ
 from repro.lang import lower_source
 from repro.nesc.programs import TEST_AND_SET_SOURCE
 
@@ -95,6 +106,62 @@ def test_restrict_to_variables():
     report = lockset_analysis(cfa, variables=["x"])
     assert report.warns_on("x")
     assert not report.warns_on("y")
+
+
+def test_may_escape_requires_a_reachable_access():
+    cfa = lower_source(
+        "global int x, unused; thread t { while (1) { x = x + 1; } }"
+    )
+    assert may_escape(cfa) == frozenset({"x"})
+
+
+def test_may_escape_ignores_unreachable_accesses():
+    # The write to y sits after an infinite loop: no thread can ever
+    # observe it, so y must not count as escaped.
+    cfa = lower_source(
+        """
+        global int x, y;
+        thread t {
+          while (1) { x = x + 1; }
+          y = 1;
+        }
+        """
+    )
+    escaped = may_escape(cfa)
+    assert "x" in escaped and "y" not in escaped
+
+
+def test_must_locksets_are_monitor_aware():
+    """A validated test-and-set flag counts as a held lock -- exactly
+    what the tag-only Eraser dataflow misses."""
+    cfa = lower_source(
+        """
+        global int s, x;
+        thread t {
+          while (1) {
+            atomic { assume(s == 0); s = 1; }
+            x = x + 1;
+            s = 0;
+          }
+        }
+        """
+    )
+    aware = must_locksets(cfa)
+    blind = must_locksets(cfa, monitors=())
+    x_sites = [q for q in cfa.locations if "x" in cfa.writes_at(q)]
+    assert x_sites
+    for q in x_sites:
+        assert "s" in aware[q]
+        assert "s" not in blind[q]
+
+
+def test_figure1_lockset_warns_where_circ_proves_safe():
+    """The ISSUE's required differential: on the Figure 1 test-and-set
+    idiom the lockset discipline raises a (false) alarm while CIRC
+    proves unbounded safety on the very same CFA."""
+    cfa = lower_source(TEST_AND_SET_SOURCE)
+    assert lockset_analysis(cfa).warns_on("x")
+    assert circ(cfa, race_on="x").safe
 
 
 def test_warnings_deterministically_sorted():

@@ -239,3 +239,60 @@ def test_warm_start_seeds_reduce_iterations(tmp_path):
     assert row.verdict == "safe"
     assert events.of_kind("warm_start")
     assert row.source == "circ-warm"
+
+
+def test_batch_portfolio_matches_circ(tmp_path):
+    """--portfolio batches agree with CIRC-only verdicts across pool
+    workers, and every row names the winning analysis."""
+    report = run_batch(
+        ITEMS,
+        cache_dir=str(tmp_path),
+        workers=2,
+        prefilter=False,
+        portfolio=True,
+    )
+    got = {(r.model, r.variable): r.verdict for r in report.rows}
+    assert got == expected_verdicts()
+    for row in report.rows:
+        assert row.source.startswith("portfolio:")
+        assert row.source != "portfolio:none"
+
+
+def test_portfolio_and_circ_only_never_share_cache(tmp_path):
+    """The ``portfolio`` flag is a salient cache-key option: a portfolio
+    run must not serve a later CIRC-only query (or vice versa)."""
+    items = [BatchItem(model="belt", source=BELT, variables=("x",))]
+    run_batch(
+        items, cache_dir=str(tmp_path), workers=1, prefilter=False,
+        portfolio=True,
+    )
+    events = EventLog()
+    report = run_batch(
+        items, cache_dir=str(tmp_path), workers=1, prefilter=False,
+        events=events,
+    )
+    assert not events.of_kind("cache_hit")
+    (row,) = report.rows
+    assert row.verdict == "safe" and row.source != "cache"
+
+
+def test_portfolio_conflict_downgrades_to_unknown(tmp_path, monkeypatch):
+    """A confident disagreement must not sink the batch and must not
+    adopt either party's claim: the row is UNKNOWN and names the
+    conflict."""
+    import repro.portfolio.driver as driver
+
+    def explode(*args, **kwargs):
+        raise driver.PortfolioConflict("x", "racer=safe vs circ=race")
+
+    monkeypatch.setattr(driver, "run_portfolio", explode)
+    report = run_batch(
+        [BatchItem(model="belt", source=BELT, variables=("x",))],
+        cache_dir=str(tmp_path),
+        workers=1,
+        prefilter=False,
+        portfolio=True,
+    )
+    (row,) = report.rows
+    assert row.verdict == "unknown"
+    assert "PORTFOLIO CONFLICT" in row.detail

@@ -51,6 +51,16 @@ def mixed_file(tmp_path):
     return str(f)
 
 
+@pytest.fixture
+def locked_file(tmp_path):
+    f = tmp_path / "locked.c"
+    f.write_text(
+        "global int m, x; "
+        "thread t { while (1) { lock(m); x = x + 1; unlock(m); } }\n"
+    )
+    return str(f)
+
+
 def test_check_safe(fig1_file, capsys):
     assert main(["check", fig1_file, "--var", "x"]) == 0
     out = capsys.readouterr().out
@@ -96,10 +106,15 @@ def test_explore_budget(fig1_file, capsys):
 
 
 def test_baselines(fig1_file, capsys):
-    assert main(["baselines", fig1_file, "--var", "x"]) == 0
+    # Exit-code parity with check/batch: the racer cannot decide the
+    # Figure 1 idiom (phase 1 finds no monitor, phase 2 no witness), so
+    # the reconciled verdict -- and therefore the exit code -- is
+    # UNKNOWN, not a blanket 0.
+    assert main(["baselines", fig1_file, "--var", "x"]) == 4
     out = capsys.readouterr().out
     assert "lockset" in out and "WARNS" in out
     assert "StatelessInsufficient" in out
+    assert "racer:          UNKNOWN" in out
 
 
 def test_cfa_text(fig1_file, capsys):
@@ -275,6 +290,88 @@ def test_batch_budget_unknown_exit_code(fig1_file, tmp_path, capsys):
 
 def test_batch_without_inputs_is_usage_error(capsys):
     assert main(["batch"]) == 2
+
+
+def test_portfolio_safe_baseline_win(locked_file, capsys):
+    assert main(["portfolio", locked_file, "--var", "x", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "x: SAFE" in out
+    assert "won by racer" in out
+    assert "cancelled" in out  # a confident verdict killed the rest
+
+
+def test_portfolio_race_exit_code(racy_file, capsys):
+    assert main(["portfolio", racy_file, "--var", "x", "--no-cache"]) == 1
+    out = capsys.readouterr().out
+    assert "x: RACE" in out and "won by racer" in out
+
+
+def test_portfolio_circ_wins_figure1(fig1_file, capsys):
+    assert main(["portfolio", fig1_file, "--var", "x", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "x: SAFE" in out and "won by circ" in out
+
+
+def test_portfolio_unknown_exit_code(fig1_file, capsys):
+    code = main(
+        ["portfolio", fig1_file, "--var", "x", "--no-cache",
+         "--max-iterations", "1"]
+    )
+    assert code == 4
+    assert "x: UNKNOWN" in capsys.readouterr().out
+
+
+def test_portfolio_json_shares_report_schema(locked_file, capsys):
+    import json
+
+    assert main(
+        ["portfolio", locked_file, "--var", "x", "--no-cache", "--json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "repro-race/report-v1"
+    rows = payload["rows"]
+    # Reconciled row first, then one row per portfolio member.
+    assert rows[0]["source"] == "portfolio:racer"
+    assert rows[0]["verdict"] == "safe"
+    assert {r["source"] for r in rows[1:]} == {"racer", "absint", "circ"}
+    for row in rows:
+        assert set(row) == {
+            "model", "variable", "verdict", "source", "time_ms", "detail",
+        }
+
+
+def test_check_portfolio_flag(fig1_file, capsys):
+    assert main(["check", fig1_file, "--var", "x", "--portfolio"]) == 0
+    out = capsys.readouterr().out
+    assert "x: SAFE" in out
+    assert "portfolio: won by circ" in out
+
+
+def test_batch_portfolio_flag(fig1_file, racy_file, tmp_path, capsys):
+    code = main(
+        ["batch", fig1_file, racy_file, "--var", "x", "--portfolio",
+         "--cache", str(tmp_path / "cache"), "--jobs", "1"]
+    )
+    assert code == 1  # racy.c races on x
+    out = capsys.readouterr().out
+    assert "portfolio:circ" in out  # fig1 decided by CIRC
+    assert "portfolio:racer" in out  # racy decided by the racer
+
+
+def test_exit_code_parity_across_frontends(
+    racy_file, locked_file, tmp_path, capsys
+):
+    """Lock the verdict->exit-code mapping across every frontend: the
+    same program must yield the same exit code from check, batch,
+    portfolio, and baselines (0 safe, 1 race, 4 unknown)."""
+    for path, expected in ((racy_file, 1), (locked_file, 0)):
+        assert main(["check", path, "--var", "x"]) == expected
+        assert main(
+            ["batch", path, "--var", "x", "--no-cache", "--jobs", "1"]
+        ) == expected
+        assert main(["portfolio", path, "--var", "x", "--no-cache"]) == expected
+        assert main(["baselines", path, "--var", "x"]) == expected
+        capsys.readouterr()
 
 
 def test_batch_events_jsonl(fig1_file, tmp_path, capsys):

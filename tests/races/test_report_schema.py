@@ -1,5 +1,6 @@
-"""Golden test for the shared report schema (static and batch --json)."""
+"""Golden test for the shared report schema (static, batch, portfolio)."""
 
+import dataclasses
 import json
 
 from repro.engine import BatchItem, run_batch
@@ -9,6 +10,8 @@ from repro.races.report import (
     ReportRow,
     render_rows_table,
     rows_from_batch,
+    rows_from_baselines,
+    rows_from_portfolio,
     rows_from_static,
     rows_to_payload,
 )
@@ -77,6 +80,88 @@ def test_must_check_maps_to_unknown_verdict():
     assert row.verdict == "unknown"
     assert row.source == "static"
     assert row.detail.startswith("must-check")
+
+
+LOCKED = (
+    "global int m, x; "
+    "thread t { while (1) { lock(m); x = x + 1; unlock(m); } }"
+)
+
+#: Golden for a portfolio run on the lock-disciplined counter: the racer
+#: proves safety in phase 1 and cancels everyone else.  Latencies are
+#: zeroed before comparison -- everything else must match exactly.
+PORTFOLIO_GOLDEN = {
+    "schema": "repro-race/report-v1",
+    "rows": [
+        {
+            "model": "locked",
+            "variable": "x",
+            "verdict": "safe",
+            "source": "portfolio:racer",
+            "time_ms": 0.0,
+            "detail": "shape locked/small",
+        },
+        {
+            "model": "locked",
+            "variable": "x",
+            "verdict": "safe",
+            "source": "racer",
+            "time_ms": 0.0,
+            "detail": (
+                "every conflicting pair proved impossible (common m)"
+            ),
+        },
+        {
+            "model": "locked",
+            "variable": "x",
+            "verdict": "unknown",
+            "source": "absint",
+            "time_ms": 0.0,
+            "detail": "cancelled by a confident verdict",
+        },
+        {
+            "model": "locked",
+            "variable": "x",
+            "verdict": "unknown",
+            "source": "circ",
+            "time_ms": 0.0,
+            "detail": "cancelled by a confident verdict",
+        },
+    ],
+}
+
+
+def test_portfolio_payload_matches_golden():
+    from repro.portfolio import run_portfolio
+
+    report = run_portfolio(lower_source(LOCKED), "x")
+    rows = [
+        dataclasses.replace(r, time_ms=0.0)
+        for r in rows_from_portfolio(report, model="locked")
+    ]
+    assert rows_to_payload(rows) == PORTFOLIO_GOLDEN
+
+
+def test_baseline_rows_use_the_same_shape():
+    from repro.baselines.lockset import lockset_analysis
+    from repro.portfolio import absint_check, racer_check
+
+    cfa = lower_source(LOCKED)
+    rows = rows_from_baselines(
+        "locked",
+        "x",
+        racer=racer_check(cfa, "x"),
+        absint=absint_check(cfa, "x"),
+        lockset=lockset_analysis(cfa, ["x"]),
+    )
+    payload = rows_to_payload(rows)
+    assert payload["schema"] == REPORT_SCHEMA
+    assert {r["source"] for r in payload["rows"]} == {
+        "racer", "absint", "lockset",
+    }
+    for row in payload["rows"]:
+        assert set(row) == set(GOLDEN["rows"][0])
+        assert row["verdict"] in ("safe", "race", "unknown")
 
 
 def test_render_table_lists_every_row():
