@@ -51,12 +51,23 @@ Subcommands
     (unsoundness, forged witness, oracle contradiction, crash) exit
     nonzero; minimized reproducers can be persisted with ``--corpus``.
 
+``serve [--socket PATH | --host H --port P]``
+    Long-running verification daemon: newline-delimited JSON over a
+    Unix or TCP socket, hot ArgStore/qcache/win-rate state shared
+    across requests, in-flight request dedup, per-client budgets, and
+    graceful SIGTERM drain.  See ``docs/SERVICE.md``.
+
+``submit FILE... [--socket PATH]``
+    Send programs to a running daemon and print the same report the
+    ``batch`` subcommand would (``--json`` for the shared payload).
+
 Exit codes: 0 verified, 1 race found (or hard fuzz disagreement),
 2 usage/parse error or a portfolio verdict conflict (two confident
 analyses disagreed -- an internal soundness error, never silently
-resolved), 3 budget exhausted (explore), 4 verification undecided
-(UNKNOWN verdict).  ``check``, ``batch``, ``portfolio``, and
-``baselines`` all share this mapping via :func:`_verdict_exit`.
+resolved), 3 budget exhausted (explore) or daemon-draining RETRYABLE,
+4 verification undecided (UNKNOWN verdict, including solver-quota
+exhaustion).  ``check``, ``batch``, ``portfolio``, ``baselines``, and
+``submit`` all share this mapping via :func:`_verdict_exit`.
 """
 
 from __future__ import annotations
@@ -687,6 +698,130 @@ def _cmd_batch(args) -> int:
     return _verdict_exit(len(report.races), len(report.unknown))
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve.server import RaceServer, ServeConfig
+
+    config = ServeConfig(
+        socket=args.socket,
+        host=args.host,
+        port=args.port,
+        cache_dir=None if args.no_cache else args.cache,
+        workers=args.workers,
+        memory_mb=args.memory_mb,
+        qcache_flush_every=args.qcache_flush_every,
+        max_client_jobs=args.max_client_jobs,
+        solver_quota_s=args.solver_quota,
+        events=args.events,
+        prefilter=not args.no_prefilter,
+    )
+    server = RaceServer(config)
+    where = args.socket or f"{args.host}:{args.port}"
+    print(f"repro-race serve: listening on {where}", file=sys.stderr)
+    asyncio.run(server.serve_forever())
+    return EXIT_OK
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from .races.report import ReportRow, render_rows_table
+    from .serve.client import ServeError, submit_sync
+
+    items = []
+    for path in args.files:
+        items.append(
+            {
+                "model": Path(path).name,
+                "source": Path(path).read_text(),
+                "thread": args.thread,
+                "variables": [args.var] if args.var else None,
+            }
+        )
+    if args.nesc is not None:
+        from .nesc.programs import BENCHMARKS
+
+        for b in BENCHMARKS:
+            if args.nesc and b.app_name != args.nesc:
+                continue
+            items.append(
+                {
+                    "model": b.key,
+                    "source": b.app.thread_source(),
+                    "variables": [b.variable.replace("_buggy", "")],
+                }
+            )
+    if not items:
+        print(
+            "error: give FILE arguments and/or --nesc [APP]",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+
+    options = {"variant": "omega" if args.omega else "circ", "k": args.k}
+    if args.max_iterations is not None:
+        options["max_iterations"] = args.max_iterations
+    if args.timeout is not None:
+        options["timeout_s"] = args.timeout
+    mode = "portfolio" if args.portfolio else "batch"
+
+    def on_event(frame):
+        print(json.dumps(frame), file=sys.stderr)
+
+    try:
+        result = submit_sync(
+            items,
+            mode=mode,
+            options=options,
+            socket=args.socket,
+            host=args.host,
+            port=args.port,
+            name=args.client,
+            on_event=on_event if args.events else None,
+            stream=bool(args.events),
+        )
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.exit_code
+    except (ConnectionError, OSError) as exc:
+        # Daemon down/unreachable is transient, not a verdict: exit 3 so
+        # retry loops can tell it apart from a race or UNKNOWN.
+        print(f"error: cannot reach daemon: {exc}", file=sys.stderr)
+        return EXIT_BUDGET
+
+    summary = result.get("summary", {})
+    if args.json:
+        payload = {
+            "schema": result.get("schema"),
+            "rows": result.get("rows", []),
+            "summary": summary,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        rows = [
+            ReportRow(
+                model=r["model"],
+                variable=r["variable"],
+                verdict=r["verdict"],
+                source=r["source"],
+                time_ms=r["time_ms"],
+                detail=r.get("detail"),
+            )
+            for r in result.get("rows", [])
+        ]
+        print(render_rows_table(rows))
+        print(
+            f"\n{summary.get('queries', len(rows))} queries: "
+            f"{summary.get('static', 0)} static, "
+            f"{summary.get('deduped', 0)} deduped, "
+            f"{summary.get('races', 0)} race(s), "
+            f"{summary.get('unknown', 0)} unknown; "
+            f"{summary.get('wall_ms', 0.0) / 1000.0:.1f}s"
+        )
+    return int(result.get("exit_code", EXIT_OK))
+
+
 def _cmd_fuzz(args) -> int:
     from .fuzz.diff import (
         HARD_CLASSES,
@@ -997,6 +1132,125 @@ def build_parser() -> argparse.ArgumentParser:
         "(racer/absint/CIRC with cross-cancellation)",
     )
     p.set_defaults(func=_cmd_batch)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-running verification daemon (NDJSON over a socket)",
+    )
+    p.add_argument(
+        "--socket", metavar="PATH", help="listen on a Unix socket at PATH"
+    )
+    p.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind address (default: 127.0.0.1)"
+    )
+    p.add_argument(
+        "--port", type=int, default=7734, help="TCP port (default: 7734; 0 = ephemeral)"
+    )
+    p.add_argument(
+        "--cache",
+        default=".repro-cache",
+        metavar="DIR",
+        help="artifact cache directory (default: .repro-cache)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true", help="disable the artifact cache"
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="verification worker threads (default: 2)",
+    )
+    p.add_argument(
+        "--memory-mb",
+        type=float,
+        default=512.0,
+        metavar="MB",
+        help="hot-context memory ceiling before LRU eviction (default: 512)",
+    )
+    p.add_argument(
+        "--qcache-flush-every",
+        type=int,
+        default=256,
+        metavar="N",
+        help="spill the SMT warm tier every N new entries (default: 256)",
+    )
+    p.add_argument(
+        "--max-client-jobs",
+        type=int,
+        default=4,
+        metavar="N",
+        help="per-client concurrent job cap (default: 4)",
+    )
+    p.add_argument(
+        "--solver-quota",
+        type=float,
+        metavar="SECONDS",
+        help="per-client cumulative solver-time quota "
+        "(over-quota jobs yield typed UNKNOWN verdicts)",
+    )
+    p.add_argument(
+        "--events", metavar="FILE", help="append JSONL telemetry to FILE"
+    )
+    p.add_argument(
+        "--no-prefilter",
+        action="store_true",
+        help="plan a CIRC job for every variable",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="send programs to a running serve daemon",
+    )
+    p.add_argument("files", nargs="*", metavar="FILE", help="mini-C programs")
+    p.add_argument(
+        "--nesc",
+        nargs="?",
+        const="",
+        metavar="APP",
+        help="include the bundled nesC models (optionally one app)",
+    )
+    p.add_argument("--var", help="check one global (default: every written global)")
+    p.add_argument("--thread", help="thread name for multi-thread files")
+    p.add_argument(
+        "--socket", metavar="PATH", help="connect to a Unix socket at PATH"
+    )
+    p.add_argument(
+        "--host", default="127.0.0.1", help="daemon address (default: 127.0.0.1)"
+    )
+    p.add_argument(
+        "--port", type=int, default=7734, help="daemon TCP port (default: 7734)"
+    )
+    p.add_argument(
+        "--client", metavar="NAME", help="client name for daemon telemetry"
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--events",
+        action="store_true",
+        help="stream per-job telemetry frames to stderr",
+    )
+    p.add_argument("--omega", action="store_true", help="use the infinity-check variant")
+    p.add_argument("-k", type=int, default=1, help="initial counter bound")
+    p.add_argument(
+        "--max-iterations",
+        type=int,
+        help="per-job refinement iteration budget (UNKNOWN when hit)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="per-job wall-clock budget (UNKNOWN when hit)",
+    )
+    p.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="resolve each job through the analysis portfolio",
+    )
+    p.set_defaults(func=_cmd_submit)
 
     p = sub.add_parser(
         "fuzz",

@@ -9,7 +9,10 @@ from the log's creation rather than wall-clock timestamps, which keeps
 logs deterministic enough to diff across runs.
 
 The log is thread-safe; with ``path=None`` events are only collected in
-memory (``log.events``), which the tests use.
+memory (``log.events``), which the tests use.  A ``listener`` callable
+receives every event as it is emitted -- the serve daemon uses this to
+stream per-job telemetry frames to subscribed clients in real time
+rather than replaying the log after the fact.
 """
 
 from __future__ import annotations
@@ -26,9 +29,14 @@ __all__ = ["EventLog"]
 class EventLog:
     """An append-only JSONL event sink."""
 
-    def __init__(self, path: str | None = None):
+    def __init__(
+        self,
+        path: str | None = None,
+        listener: Any = None,
+    ):
         self.path = path
         self.events: list[dict[str, Any]] = []
+        self.listener = listener
         self._lock = threading.Lock()
         self._t0 = time.perf_counter()
         self._fh: IO[str] | None = None
@@ -48,6 +56,15 @@ class EventLog:
             if self._fh is not None:
                 self._fh.write(json.dumps(event, sort_keys=True) + "\n")
                 self._fh.flush()
+        # Outside the lock: a listener may be arbitrarily slow (it
+        # typically enqueues a frame onto an asyncio loop) and must not
+        # serialize unrelated emitters; a listener error never breaks
+        # the verification path that emitted the event.
+        if self.listener is not None:
+            try:
+                self.listener(event)
+            except Exception:
+                pass
         return event
 
     def of_kind(self, kind: str) -> list[dict[str, Any]]:

@@ -37,10 +37,26 @@ from .planner import Job, JobResult, _verdict_of, options_fingerprint
 __all__ = ["execute"]
 
 
-def _run_job_payload(payload: dict) -> dict:
+def _run_job_payload(
+    payload: dict,
+    *,
+    cfa=None,
+    store=None,
+    cache: ArtifactCache | None = None,
+    book=None,
+    events: EventLog | None = None,
+) -> dict:
     """Execute one verification job (runs inside a worker process or,
     on fallback, in-process).  Pure function of its payload; returns a
-    JSON-ready result record and never raises."""
+    JSON-ready result record and never raises.
+
+    The keyword-only parameters are the serve daemon's hot-state hooks:
+    a pre-lowered ``cfa`` (so a long-lived :class:`~repro.reach.store
+    .ArgStore` keeps its binding -- the store resets when bound to a new
+    CFA object), a persistent ``store`` threaded into ``circ``, and
+    in-process ``cache``/``book`` handles for portfolio jobs.  Pool
+    workers never pass them, so the multiprocessing path is unchanged.
+    """
     if payload.get("_test_kill_worker"):
         import multiprocessing
 
@@ -55,7 +71,8 @@ def _run_job_payload(payload: dict) -> dict:
     variable = payload["variable"]
     extras: dict = {}
     try:
-        cfa = lower_source(payload["source"], payload["thread"])
+        if cfa is None:
+            cfa = lower_source(payload["source"], payload["thread"])
         options = dict(payload["options"])
         seeds = tuple(
             term_from_obj(p) for p in payload.get("seed_predicates", ())
@@ -65,9 +82,18 @@ def _run_job_payload(payload: dict) -> dict:
             options["initial_predicates"] = existing + seeds
         if options.pop("portfolio", False):
             result = _run_portfolio_job(
-                cfa, variable, payload, options, extras
+                cfa,
+                variable,
+                payload,
+                options,
+                extras,
+                cache=cache,
+                book=book,
+                events=events,
             )
         else:
+            if store is not None:
+                options.setdefault("store", store)
             result = circ(cfa, race_on=variable, **options)
     except CircBudgetExceeded as exc:
         result = exc.result
@@ -115,24 +141,27 @@ def _run_job_payload(payload: dict) -> dict:
     return record
 
 
-def _run_portfolio_job(cfa, variable, payload, options, extras):
+def _run_portfolio_job(
+    cfa, variable, payload, options, extras, cache=None, book=None,
+    events=None,
+):
     """Resolve one job through the analysis portfolio.
 
-    The worker rebuilds its own handles on the shared cache root (blob
-    reads/writes are atomic and checksummed, and the win-rate book's
-    last-writer-wins save is fine for counters), so warm absint
-    summaries and learned scheduling order survive across batch workers.
+    Without in-process handles, the worker rebuilds its own on the
+    shared cache root (blob reads/writes are atomic and checksummed, and
+    the win-rate book's save is a locked read-merge-write), so warm
+    absint summaries and learned scheduling order survive across batch
+    workers.  The serve daemon passes its hot ``cache``/``book``
+    directly instead.
     """
     from ..portfolio.driver import run_portfolio
     from ..portfolio.winrate import WinRateBook
 
     cache_root = payload.get("cache_root")
-    cache = ArtifactCache(cache_root) if cache_root else None
-    book = (
-        WinRateBook(os.path.join(cache_root, "winrates.json"))
-        if cache_root
-        else None
-    )
+    if cache is None and cache_root:
+        cache = ArtifactCache(cache_root)
+    if book is None and cache_root:
+        book = WinRateBook(os.path.join(cache_root, "winrates.json"))
     report = run_portfolio(
         cfa,
         variable,
@@ -140,6 +169,7 @@ def _run_portfolio_job(cfa, variable, payload, options, extras):
         thread=payload["thread"],
         cache=cache,
         winrates=book,
+        events=events,
         **options,
     )
     extras["portfolio_winner"] = report.winner

@@ -13,12 +13,21 @@ artifact cache root, survives across runs, and its counters are also
 emitted into the JSONL telemetry (``portfolio_winrates`` events) so the
 engine's planner -- or a human reading the log -- can see which analysis
 earns its slot per workload shape.
+
+Concurrent writers -- daemon worker threads, parallel batch workers --
+share one book file.  A naive load/mutate/save cycle is last-writer-wins
+and silently drops every other writer's counts, so :meth:`save` is a
+*read-merge-write*: it tracks the deltas recorded since the last save,
+re-reads the file under an advisory lock, folds the deltas into whatever
+other writers persisted meanwhile, and replaces the file atomically.
+Win counts are therefore never lost, only delayed.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 from pathlib import Path
 
 from ..cfa.cfa import CFA
@@ -27,6 +36,11 @@ __all__ = ["WinRateBook", "shape_class", "DEFAULT_ORDER"]
 
 #: Static cost order: cheapest analysis first until the book learns better.
 DEFAULT_ORDER = ("racer", "absint", "circ")
+
+try:  # advisory file locking is POSIX-only; degrade gracefully elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
 
 
 def shape_class(cfa: CFA, variable: str) -> str:
@@ -60,23 +74,42 @@ class WinRateBook:
     def __init__(self, path: str | os.PathLike | None = None):
         self.path = Path(path) if path is not None else None
         self.counts: dict[str, dict[str, dict[str, float]]] = {}
+        # Deltas recorded since the last successful save; save() merges
+        # them into the on-disk counts instead of overwriting the file.
+        self._pending: dict[str, dict[str, dict[str, float]]] = {}
+        self._mutex = threading.Lock()
         if self.path is not None and self.path.exists():
-            try:
-                raw = json.loads(self.path.read_text())
-                if isinstance(raw, dict):
-                    self.counts = raw.get("shapes", {})
-            except (OSError, ValueError):
-                self.counts = {}  # a corrupt book relearns from scratch
+            self.counts = self._read_counts(self.path)
+
+    @staticmethod
+    def _read_counts(path: Path) -> dict:
+        try:
+            raw = json.loads(path.read_text())
+            if isinstance(raw, dict):
+                shapes = raw.get("shapes", {})
+                if isinstance(shapes, dict):
+                    return shapes
+        except (OSError, ValueError):
+            pass  # a corrupt book relearns from scratch
+        return {}
+
+    @staticmethod
+    def _cell(
+        table: dict, shape: str, analysis: str
+    ) -> dict[str, float]:
+        return table.setdefault(shape, {}).setdefault(
+            analysis, {"wins": 0, "runs": 0, "total_ms": 0.0}
+        )
 
     def record(
         self, shape: str, analysis: str, won: bool, time_ms: float
     ) -> None:
-        cell = self.counts.setdefault(shape, {}).setdefault(
-            analysis, {"wins": 0, "runs": 0, "total_ms": 0.0}
-        )
-        cell["runs"] += 1
-        cell["wins"] += 1 if won else 0
-        cell["total_ms"] += time_ms
+        with self._mutex:
+            for table in (self.counts, self._pending):
+                cell = self._cell(table, shape, analysis)
+                cell["runs"] += 1
+                cell["wins"] += 1 if won else 0
+                cell["total_ms"] += time_ms
 
     def win_rate(self, shape: str, analysis: str) -> float:
         cell = self.counts.get(shape, {}).get(analysis)
@@ -104,9 +137,56 @@ class WinRateBook:
         return {"shapes": self.counts}
 
     def save(self) -> None:
+        """Merge the deltas since the last save into the book file.
+
+        Holds an advisory ``flock`` on a sibling ``.lock`` file for the
+        read-merge-write cycle, so two processes saving concurrently
+        serialize and neither clobbers the other's counts.  Platforms
+        without ``fcntl`` skip the lock but keep the merge, which still
+        beats blind overwriting.
+        """
         if self.path is None:
             return
+        with self._mutex:
+            pending = self._pending
+            self._pending = {}
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(self.to_obj(), indent=1, sort_keys=True))
-        os.replace(tmp, self.path)
+        lock_fh = None
+        try:
+            if fcntl is not None:
+                lock_fh = open(self.path.with_suffix(".lock"), "a")
+                fcntl.flock(lock_fh.fileno(), fcntl.LOCK_EX)
+            merged = (
+                self._read_counts(self.path) if self.path.exists() else {}
+            )
+            for shape, analyses in pending.items():
+                for analysis, delta in analyses.items():
+                    cell = self._cell(merged, shape, analysis)
+                    cell["runs"] += delta["runs"]
+                    cell["wins"] += delta["wins"]
+                    cell["total_ms"] += delta["total_ms"]
+            with self._mutex:
+                self.counts = merged
+            tmp = self.path.with_suffix(".tmp")
+            tmp.write_text(
+                json.dumps(
+                    {"shapes": merged}, indent=1, sort_keys=True
+                )
+            )
+            os.replace(tmp, self.path)
+        except OSError:
+            # Persistence is an accelerator; put the deltas back so a
+            # later save can still merge them.
+            with self._mutex:
+                for shape, analyses in pending.items():
+                    for analysis, delta in analyses.items():
+                        cell = self._cell(self._pending, shape, analysis)
+                        cell["runs"] += delta["runs"]
+                        cell["wins"] += delta["wins"]
+                        cell["total_ms"] += delta["total_ms"]
+        finally:
+            if lock_fh is not None:
+                try:
+                    fcntl.flock(lock_fh.fileno(), fcntl.LOCK_UN)
+                finally:
+                    lock_fh.close()

@@ -322,6 +322,23 @@ class ArgStore:
 
     # -- reporting -----------------------------------------------------------------------------
 
+    def approx_entries(self) -> int:
+        """Total live memo entries across every tier.
+
+        The serve daemon keeps many hot stores and needs a cheap,
+        comparable size signal to enforce its memory ceiling; entry
+        counts are proportional to retained regions/results and avoid
+        walking object graphs.
+        """
+        return (
+            len(self._main_post)
+            + len(self._ctx_post)
+            + len(self._results)
+            + len(self._omega_good)
+            + len(self._ctx_reach)
+            + len(self._collapse)
+        )
+
     def reuse_stats(self) -> dict[str, int]:
         """Counters plus current memo sizes, for ``--stats`` and artifacts."""
         out = dict(self.counters)

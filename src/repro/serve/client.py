@@ -1,0 +1,264 @@
+"""Protocol client for the serve daemon: ``repro-race submit``.
+
+:class:`ServeClient` is the async client the server tests drive; a
+background reader task demultiplexes interleaved response frames by
+request id, so one connection can carry many concurrent submissions.
+:func:`submit_sync` wraps connect/submit/close in ``asyncio.run`` for
+synchronous callers (the CLI, the benchmark, shell scripts).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Callable, Sequence
+
+from .protocol import (
+    EXIT_USAGE,
+    ErrorCode,
+    decode_frame,
+    encode_frame,
+)
+
+__all__ = ["ServeClient", "ServeError", "submit_sync"]
+
+
+class ServeError(Exception):
+    """An error frame, surfaced as an exception.
+
+    ``exit_code`` is what ``repro-race submit`` exits with -- the
+    protocol's shared mapping (2 usage/parse, 3 retryable, ...).
+    """
+
+    def __init__(self, code: str, message: str, exit_code: int | None = None):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.exit_code = (
+            exit_code
+            if exit_code is not None
+            else ErrorCode.EXITS.get(code, EXIT_USAGE)
+        )
+
+
+class ServeClient:
+    """One connection to a running serve daemon."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ):
+        self._reader = reader
+        self._writer = writer
+        self._ids = (f"r{n}" for n in itertools.count(1))
+        self._queues: dict[str, asyncio.Queue] = {}
+        self.server_hello: dict[str, Any] = {}
+        self._closed = False
+        self._read_task: asyncio.Task | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @classmethod
+    async def connect(
+        cls,
+        socket: str | None = None,
+        host: str = "127.0.0.1",
+        port: int = 7734,
+        name: str | None = None,
+        max_jobs: int | None = None,
+        solver_quota_s: float | None = None,
+    ) -> "ServeClient":
+        if socket is not None:
+            reader, writer = await asyncio.open_unix_connection(socket)
+        else:
+            reader, writer = await asyncio.open_connection(host, port)
+        client = cls(reader, writer)
+        # The server greets unprompted; read it synchronously so
+        # server_hello is populated before the caller proceeds.
+        line = await reader.readline()
+        if line:
+            client.server_hello = decode_frame(line)
+        client._read_task = asyncio.ensure_future(client._read_loop())
+        if name or max_jobs is not None or solver_quota_s is not None:
+            hello: dict[str, Any] = {"op": "hello", "id": next(client._ids)}
+            if name:
+                hello["client"] = name
+            if max_jobs is not None:
+                hello["max_jobs"] = max_jobs
+            if solver_quota_s is not None:
+                hello["solver_quota_s"] = solver_quota_s
+            reply = await client._request(hello)
+            client.server_hello = reply
+        return client
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._read_task is not None:
+            self._read_task.cancel()
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except Exception:
+            pass
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- frame plumbing -------------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                frame = decode_frame(line)
+                request_id = frame.get("id")
+                queue = (
+                    self._queues.get(request_id)
+                    if isinstance(request_id, str)
+                    else None
+                )
+                if queue is not None:
+                    queue.put_nowait(frame)
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        finally:
+            # Wake every waiter so a dead connection fails fast.
+            for queue in self._queues.values():
+                queue.put_nowait(
+                    {
+                        "frame": "error",
+                        "code": ErrorCode.RETRYABLE,
+                        "message": "connection closed by server",
+                    }
+                )
+
+    async def _send(self, frame: dict[str, Any]) -> None:
+        self._writer.write(encode_frame(frame))
+        await self._writer.drain()
+
+    async def _request(self, frame: dict[str, Any]) -> dict[str, Any]:
+        """Send one frame, await its first non-event response."""
+        request_id = frame["id"]
+        queue: asyncio.Queue = asyncio.Queue()
+        self._queues[request_id] = queue
+        try:
+            await self._send(frame)
+            reply = await queue.get()
+            if reply.get("frame") == "error":
+                raise ServeError(
+                    reply.get("code", ErrorCode.INTERNAL),
+                    reply.get("message", ""),
+                    reply.get("exit_code"),
+                )
+            return reply
+        finally:
+            self._queues.pop(request_id, None)
+
+    # -- verbs ----------------------------------------------------------------
+
+    async def ping(self) -> bool:
+        reply = await self._request(
+            {"op": "ping", "id": next(self._ids)}
+        )
+        return reply.get("frame") == "pong"
+
+    async def stats(self) -> dict[str, Any]:
+        return await self._request(
+            {"op": "stats", "id": next(self._ids)}
+        )
+
+    async def submit(
+        self,
+        items: Sequence[dict[str, Any]],
+        mode: str = "check",
+        options: dict[str, Any] | None = None,
+        stream: bool = True,
+        on_event: Callable[[dict[str, Any]], None] | None = None,
+    ) -> dict[str, Any]:
+        """Submit programs; returns the result frame.
+
+        ``items`` are ``{"model", "source", "thread"?, "variables"?}``
+        dicts.  Event frames are passed to ``on_event`` as they stream;
+        the returned dict carries ``rows`` (report-v1), ``summary``, and
+        ``exit_code``.  Raises :class:`ServeError` on an error frame
+        (including the drain-time RETRYABLE).
+        """
+        request_id = next(self._ids)
+        queue: asyncio.Queue = asyncio.Queue()
+        self._queues[request_id] = queue
+        try:
+            await self._send(
+                {
+                    "op": "submit",
+                    "id": request_id,
+                    "mode": mode,
+                    "items": list(items),
+                    "options": dict(options or {}),
+                    "stream": stream,
+                }
+            )
+            ack: dict[str, Any] | None = None
+            while True:
+                frame = await queue.get()
+                kind = frame.get("frame")
+                if kind == "ack":
+                    ack = frame
+                elif kind == "event":
+                    if on_event is not None:
+                        on_event(frame)
+                elif kind == "result":
+                    if ack is not None:
+                        frame.setdefault("ack", ack)
+                    return frame
+                elif kind == "error":
+                    raise ServeError(
+                        frame.get("code", ErrorCode.INTERNAL),
+                        frame.get("message", ""),
+                        frame.get("exit_code"),
+                    )
+        finally:
+            self._queues.pop(request_id, None)
+
+
+def submit_sync(
+    items: Sequence[dict[str, Any]],
+    mode: str = "check",
+    options: dict[str, Any] | None = None,
+    socket: str | None = None,
+    host: str = "127.0.0.1",
+    port: int = 7734,
+    name: str | None = None,
+    max_jobs: int | None = None,
+    solver_quota_s: float | None = None,
+    on_event: Callable[[dict[str, Any]], None] | None = None,
+    stream: bool = True,
+) -> dict[str, Any]:
+    """Connect, submit once, disconnect (the CLI / benchmark path)."""
+
+    async def go() -> dict[str, Any]:
+        client = await ServeClient.connect(
+            socket=socket,
+            host=host,
+            port=port,
+            name=name,
+            max_jobs=max_jobs,
+            solver_quota_s=solver_quota_s,
+        )
+        try:
+            return await client.submit(
+                items,
+                mode=mode,
+                options=options,
+                stream=stream,
+                on_event=on_event,
+            )
+        finally:
+            await client.close()
+
+    return asyncio.run(go())

@@ -25,6 +25,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Hashable, Sequence
@@ -243,37 +244,87 @@ class QueryCache:
         self._warm: dict[str, bool] = {}
         self.warm_hits = 0
         self.enabled = True
+        # Long-lived processes (the serve daemon) mutate the cache from
+        # worker threads and spill it periodically; the lock keeps
+        # save()'s iteration over the LRU safe against concurrent puts.
+        self._lock = threading.RLock()
+        self._autosave_path: Path | None = None
+        self._autosave_every = 0
+        self._stores_since_flush = 0
+        self.autosave_flushes = 0
 
     def lookup(self, key: str | tuple[str, ...]) -> bool | None:
         if not self.enabled:
             return None
-        verdict = self._lru.get(key)
-        if verdict is not None:
-            return verdict
-        if self._warm:
-            verdict = self._warm.get(key_digest(key))
+        with self._lock:
+            verdict = self._lru.get(key)
             if verdict is not None:
-                self.warm_hits += 1
-                self._lru.put(key, verdict)
                 return verdict
+            if self._warm:
+                verdict = self._warm.get(key_digest(key))
+                if verdict is not None:
+                    self.warm_hits += 1
+                    self._lru.put(key, verdict)
+                    return verdict
         return None
 
     def store(self, key: str | tuple[str, ...], verdict: bool) -> None:
-        if self.enabled:
+        if not self.enabled:
+            return
+        flush_now = False
+        with self._lock:
             self._lru.put(key, bool(verdict))
+            if self._autosave_path is not None:
+                self._stores_since_flush += 1
+                if self._stores_since_flush >= self._autosave_every:
+                    flush_now = True
+        if flush_now:
+            self.flush()
+
+    # -- incremental spill ---------------------------------------------------
+
+    def set_autosave(
+        self, path: str | os.PathLike | None, every: int = 512
+    ) -> None:
+        """Spill the warm tier to ``path`` every ``every`` stores.
+
+        The original persistence contract spilled only at process exit,
+        so a crashed or SIGKILLed daemon lost its entire warm tier.  With
+        autosave configured, :meth:`store` counts insertions and flushes
+        the tier incrementally; ``path=None`` disables autosave again.
+        """
+        with self._lock:
+            self._autosave_path = Path(path) if path is not None else None
+            self._autosave_every = max(1, int(every))
+            self._stores_since_flush = 0
+
+    def flush(self) -> int:
+        """Force a spill to the autosave path now; returns entries written."""
+        with self._lock:
+            path = self._autosave_path
+            self._stores_since_flush = 0
+        if path is None:
+            return 0
+        written = self.save(path)
+        if written:
+            self.autosave_flushes += 1
+        return written
 
     def clear(self) -> None:
         """Drop both tiers (used by tests and cold benchmark runs)."""
-        self._lru.clear()
-        self._warm.clear()
+        with self._lock:
+            self._lru.clear()
+            self._warm.clear()
 
     def __len__(self) -> int:
         return len(self._lru)
 
     def stats(self) -> dict[str, int]:
-        out = self._lru.stats()
-        out["warm_hits"] = self.warm_hits
-        out["warm_size"] = len(self._warm)
+        with self._lock:
+            out = self._lru.stats()
+            out["warm_hits"] = self.warm_hits
+            out["warm_size"] = len(self._warm)
+            out["autosave_flushes"] = self.autosave_flushes
         return out
 
     # -- persistence ---------------------------------------------------------
@@ -285,9 +336,10 @@ class QueryCache:
         for the artifact-cache contract (temp file + replace), and a
         failed write never raises past a warning return of 0.
         """
-        entries = dict(self._warm)
-        for key, verdict in self._lru.items():
-            entries[key_digest(key)] = bool(verdict)
+        with self._lock:
+            entries = dict(self._warm)
+            for key, verdict in self._lru.items():
+                entries[key_digest(key)] = bool(verdict)
         body = {"format": QCACHE_FORMAT, "entries": entries}
         path = Path(path)
         try:
@@ -317,10 +369,11 @@ class QueryCache:
         ):
             return 0
         loaded = 0
-        for digest, verdict in payload["entries"].items():
-            if isinstance(digest, str) and isinstance(verdict, bool):
-                self._warm[digest] = verdict
-                loaded += 1
+        with self._lock:
+            for digest, verdict in payload["entries"].items():
+                if isinstance(digest, str) and isinstance(verdict, bool):
+                    self._warm[digest] = verdict
+                    loaded += 1
         return loaded
 
 

@@ -41,6 +41,8 @@ variables, bounding both memory and the per-round theory-check cost.
 
 from __future__ import annotations
 
+import threading
+
 from .cnf import AtomTable, _encode, rewrite_to_le, to_nnf
 from . import lia
 from .linear import LinExpr, LinLe, linearize
@@ -192,18 +194,22 @@ class Session:
         raise RuntimeError("DPLL(T) loop exceeded its round budget")
 
 
-#: Lazily-created shared session used by the module-level query API.
-_DEFAULT: Session | None = None
+#: Lazily-created per-thread session used by the module-level query API.
+#: Thread-local rather than global: a Session holds one live CDCL
+#: instance whose state machine cannot survive interleaved use, and the
+#: serve daemon runs verification jobs on a thread pool.  Each worker
+#: thread gets its own session (its own learned lemmas); the shared
+#: query cache, not the session, carries cross-thread warmth.
+_LOCAL = threading.local()
 
 
 def default_session() -> Session:
-    global _DEFAULT
-    if _DEFAULT is None:
-        _DEFAULT = Session()
-    return _DEFAULT
+    session = getattr(_LOCAL, "session", None)
+    if session is None:
+        session = _LOCAL.session = Session()
+    return session
 
 
 def reset_default_session() -> None:
-    """Drop the shared session (tests and cold benchmark runs)."""
-    global _DEFAULT
-    _DEFAULT = None
+    """Drop the calling thread's session (tests and cold benchmark runs)."""
+    _LOCAL.session = None

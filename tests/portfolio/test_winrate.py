@@ -56,3 +56,32 @@ def test_corrupt_book_relearns_from_scratch(tmp_path):
     book.record("bare/small", "racer", won=True, time_ms=1.0)
     book.save()
     assert WinRateBook(path).win_rate("bare/small", "racer") == 1.0
+
+
+def test_concurrent_books_merge_instead_of_overwriting(tmp_path):
+    """Two processes holding the same book file both save: the second
+    save must merge its deltas into what the first wrote, not clobber
+    it (the read-merge-write discipline the serve daemon relies on)."""
+    path = tmp_path / "book.json"
+    a = WinRateBook(path)
+    b = WinRateBook(path)
+    a.record("bare/small", "racer", won=True, time_ms=1.0)
+    b.record("bare/small", "circ", won=True, time_ms=2.0)
+    a.save()
+    b.save()  # must not lose a's racer win
+    merged = WinRateBook(path)
+    assert merged.win_rate("bare/small", "racer") == 1.0
+    assert merged.win_rate("bare/small", "circ") == 1.0
+
+
+def test_save_is_delta_based_not_cumulative(tmp_path):
+    """Saving twice must not double-count: deltas are consumed by the
+    save that writes them."""
+    path = tmp_path / "book.json"
+    book = WinRateBook(path)
+    book.record("s", "racer", won=True, time_ms=1.0)
+    book.save()
+    book.save()
+    reloaded = WinRateBook(path)
+    cell = reloaded.counts["s"]["racer"]
+    assert cell["wins"] == 1 and cell["runs"] == 1

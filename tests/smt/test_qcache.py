@@ -195,3 +195,33 @@ def test_cached_verdicts_are_correct_across_spellings():
     assert not is_sat_conjunction([T.le(x, T.num(1)), T.gt(x, T.num(1))])
     # Same halfspaces, different spellings: must hit and stay unsat.
     assert not is_sat_conjunction([T.lt(x, T.num(2)), T.ge(x, T.num(2))])
+
+
+# -- incremental autosave (the serve daemon's periodic warm-tier spill) ------
+
+
+def test_autosave_flushes_every_n_stores(tmp_path):
+    path = tmp_path / "qcache.json"
+    qc = QueryCache()
+    qc.set_autosave(path, every=3)
+    qc.store("k1", True)
+    qc.store("k2", False)
+    assert not path.exists()  # under the threshold: nothing spilled yet
+    qc.store("k3", True)
+    assert path.exists()
+    assert qc.autosave_flushes == 1
+    # The spilled tier warm-starts a fresh cache.
+    warm = QueryCache()
+    assert warm.load(path) == 3
+    assert warm.lookup("k2") is False
+
+
+def test_autosave_disable_and_forced_flush(tmp_path):
+    path = tmp_path / "qcache.json"
+    qc = QueryCache()
+    qc.set_autosave(path, every=1000)
+    qc.store("k1", True)
+    assert qc.flush() == 1  # explicit flush spills below the threshold
+    qc.set_autosave(None)
+    qc.store("k2", True)
+    assert qc.flush() == 0  # disabled: no path, nothing written
