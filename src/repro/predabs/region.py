@@ -35,6 +35,20 @@ class PredicateSet:
                 raise TypeError(f"predicate must be a term: {p!r}")
             seen.setdefault(p)
         self._preds: tuple[T.Term, ...] = tuple(seen)
+        self._supports: tuple[frozenset[str], ...] | None = None
+
+    def support(self, i: int) -> frozenset[str]:
+        """The free variables of predicate ``i`` (cached per set).
+
+        The ArgStore's subtree invalidation intersects predicate supports
+        against thousands of memo entries; with the per-term memo in
+        :func:`repro.smt.terms.free_vars` plus this per-set tuple, each
+        lookup is O(1) after the first.
+        """
+        sup = self._supports
+        if sup is None:
+            sup = self._supports = tuple(T.free_vars(p) for p in self._preds)
+        return sup[i]
 
     def __len__(self) -> int:
         return len(self._preds)

@@ -259,7 +259,7 @@ class ArgStore:
             return frozenset()
         out: set[str] = set()
         for idx, _ in region.literals:
-            out.update(T.free_vars(preds[idx]))
+            out.update(preds.support(idx))
         return frozenset(out)
 
     # -- whole-result memo -----------------------------------------------------------

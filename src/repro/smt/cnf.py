@@ -31,7 +31,7 @@ from .terms import (
     or_,
 )
 
-__all__ = ["rewrite_to_le", "to_nnf", "AtomTable", "tseitin"]
+__all__ = ["rewrite_to_le", "to_nnf", "nnf_of", "AtomTable", "tseitin"]
 
 
 def _le_atom(expr: LinExpr) -> Term:
@@ -118,6 +118,26 @@ def to_nnf(t: Term, negate: bool = False) -> Term:
             and_(to_nnf(a, True), to_nnf(b, True)),
         )
     raise TypeError(f"not a formula: {t!r}")
+
+
+#: Bounded memo for :func:`nnf_of`.  Interning makes repeated formulas
+#: pointer-identical, so the rewrite-plus-NNF pass runs once per distinct
+#: formula per process.
+_NNF_MEMO: dict[Term, Term] = {}
+_NNF_MEMO_LIMIT = 100_000
+
+
+def nnf_of(t: Term) -> Term:
+    """Memoized ``to_nnf(rewrite_to_le(t))`` -- the normalization every
+    general satisfiability query performs before encoding or keying."""
+    cached = _NNF_MEMO.get(t)
+    if cached is not None:
+        return cached
+    nnf = to_nnf(rewrite_to_le(t))
+    if len(_NNF_MEMO) >= _NNF_MEMO_LIMIT:
+        _NNF_MEMO.clear()
+    _NNF_MEMO[t] = nnf
+    return nnf
 
 
 class AtomTable:

@@ -30,7 +30,12 @@ from typing import Mapping, Sequence
 
 from .linear import LinEq, LinExpr, LinLe
 
-__all__ = ["LiaResult", "solve_conjunction", "implies_conjunction"]
+__all__ = [
+    "LiaResult",
+    "IncrementalFM",
+    "solve_conjunction",
+    "implies_conjunction",
+]
 
 #: Maximum branch-and-bound depth before giving up (soundly reporting unknown
 #: via an exception); never reached by the verifier's constraint profile.
@@ -328,6 +333,283 @@ def _solve(constraints: list[LinLe | LinEq], depth: int) -> LiaResult:
         if i < n
     )
     return LiaResult("unsat", core=core, farkas=None, all_equalities=False)
+
+
+class IncrementalFM:
+    """Incremental Fourier-Motzkin over a fixed base conjunction.
+
+    The predicate abstractor asks hundreds of queries of the shape
+    ``base and extra`` against one region ``base``.  A scratch
+    :func:`solve_conjunction` re-runs Gaussian elimination and the full FM
+    cascade on the base every time; this class eliminates the base *once*,
+    recording the Gaussian definitions and the per-level bound partitions,
+    and answers each query by pushing only the extra inequalities through
+    the recorded pipeline:
+
+    * extras are substituted through the base equality definitions;
+    * at each recorded level, the carried extras are split into lower /
+      upper bounds on that level's victim and combined against both the
+      base bounds and each other (so the cascade computes exactly the FM
+      closure of the union, in the base's elimination order);
+    * inequalities over variables the base never eliminated fall out the
+      bottom and are finished with a scratch mini-elimination.
+
+    Extras must be :class:`LinLe`; an extra *equality* falls back to the
+    scratch solver (the Gaussian GCD integrality test does not replay
+    incrementally, and without it branch-and-bound can diverge on inputs
+    like ``2x + 2y + 1 == 0``).  Fractional rational models likewise fall
+    back to scratch for its branch-and-bound, so verdicts are always
+    identical to ``solve_conjunction(base + extras)``.
+    """
+
+    __slots__ = (
+        "base",
+        "base_result",
+        "_eq_indices",
+        "_defs",
+        "_defs_backsub",
+        "_levels",
+    )
+
+    def __init__(self, base: Sequence[LinLe | LinEq]):
+        self.base = list(base)
+        #: Set eagerly when the base alone is already unsat.
+        self.base_result: LiaResult | None = None
+        self._eq_indices = {
+            i for i, c in enumerate(self.base) if isinstance(c, LinEq)
+        }
+        #: Gaussian steps, in order: (victim, victim coeff, eq expr, eq comb).
+        self._defs: list[tuple[str, Fraction, LinExpr, dict[int, Fraction]]] = []
+        #: (victim, definition) pairs for model back-substitution.
+        self._defs_backsub: list[tuple[str, LinExpr]] = []
+        #: FM levels, in order: (victim, base lower bounds, base upper bounds).
+        self._levels: list[tuple[str, list[_Ineq], list[_Ineq]]] = []
+        self._prepare()
+
+    def _unsat(self, comb: Mapping[int, Fraction], farkas=True) -> LiaResult:
+        return LiaResult(
+            "unsat",
+            core=frozenset(comb),
+            farkas=dict(comb) if farkas else None,
+            all_equalities=all(i in self._eq_indices for i in comb),
+        )
+
+    def _prepare(self) -> None:
+        """Run phases 1-2 of :func:`_solve` on the base, recording state."""
+        ineqs: list[_Ineq] = []
+        pending: list[_Ineq] = []
+        for i, c in enumerate(self.base):
+            work = _Ineq(c.expr, {i: Fraction(1)})
+            if isinstance(c, LinEq):
+                pending.append(work)
+            elif isinstance(c, LinLe):
+                ineqs.append(work)
+            else:
+                raise TypeError(f"unknown constraint {c!r}")
+
+        while pending:
+            eq = pending.pop()
+            if eq.expr.is_const():
+                if eq.expr.const != 0:
+                    self.base_result = self._unsat(eq.comb)
+                    return
+                continue
+            denom = 1
+            for c in list(eq.expr.coeffs.values()) + [eq.expr.const]:
+                denom = denom * c.denominator // math.gcd(denom, c.denominator)
+            g = 0
+            for c in eq.expr.coeffs.values():
+                g = math.gcd(g, abs(int(c * denom)))
+            if g and int(eq.expr.const * denom) % g != 0:
+                self.base_result = self._unsat(eq.comb, farkas=False)
+                return
+            name = min(
+                eq.expr.coeffs, key=lambda n: (abs(eq.expr.coeffs[n]) != 1, n)
+            )
+            a = eq.expr.coeffs[name]
+            rest = eq.expr + LinExpr({name: -a})
+            self._defs.append((name, a, eq.expr, eq.comb))
+            self._defs_backsub.append((name, rest.scale(Fraction(-1, 1) / a)))
+
+            def subst(target: _Ineq) -> _Ineq:
+                b = target.expr.coeff(name)
+                if b == 0:
+                    return target
+                return _Ineq(
+                    target.expr + eq.expr.scale(-b / a),
+                    _comb_add(target.comb, eq.comb, -b / a),
+                )
+
+            pending = [subst(e) for e in pending]
+            ineqs = [subst(q) for q in ineqs]
+
+        current = ineqs
+        while True:
+            remaining: list[_Ineq] = []
+            for q in current:
+                if q.expr.is_const():
+                    if q.expr.const > 0:
+                        self.base_result = self._unsat(q.comb)
+                        return
+                else:
+                    remaining.append(q)
+            current = remaining
+            vars_left: set[str] = set()
+            for q in current:
+                vars_left.update(q.expr.coeffs)
+            if not vars_left:
+                break
+            counts = {v: 0 for v in vars_left}
+            for q in current:
+                for v in q.expr.coeffs:
+                    counts[v] += 1
+            victim = min(sorted(vars_left), key=lambda v: counts[v])
+            lowers: list[_Ineq] = []
+            uppers: list[_Ineq] = []
+            others: list[_Ineq] = []
+            for q in current:
+                c = q.expr.coeff(victim)
+                if c < 0:
+                    lowers.append(q)
+                elif c > 0:
+                    uppers.append(q)
+                else:
+                    others.append(q)
+            self._levels.append((victim, lowers, uppers))
+            new = list(others)
+            for lo in lowers:
+                cl = -lo.expr.coeff(victim)
+                for up in uppers:
+                    cu = up.expr.coeff(victim)
+                    expr = lo.expr.scale(cu) + up.expr.scale(cl)
+                    comb = _comb_add(
+                        {k: v * cu for k, v in lo.comb.items()}, up.comb, cl
+                    )
+                    new.append(_Ineq(expr, comb))
+            current = new
+
+    def extend(self, extras: Sequence[LinLe]) -> LiaResult:
+        """Decide ``base and extras`` reusing the base elimination."""
+        if any(not isinstance(e, LinLe) for e in extras):
+            # Equality extras need the Gaussian GCD test; go to scratch.
+            return _solve(self.base + list(extras), depth=0)
+        if self.base_result is not None:
+            return self.base_result
+        n = len(self.base)
+        carry: list[_Ineq] = []
+        for j, c in enumerate(extras):
+            work = _Ineq(c.expr, {n + j: Fraction(1)})
+            for name, a, eq_expr, eq_comb in self._defs:
+                b = work.expr.coeff(name)
+                if b != 0:
+                    work = _Ineq(
+                        work.expr + eq_expr.scale(-b / a),
+                        _comb_add(work.comb, eq_comb, -b / a),
+                    )
+            carry.append(work)
+
+        # Cascade the carried extras through the recorded levels.  At each
+        # level the new combinations are carry-lower x (base-upper +
+        # carry-upper) and base-lower x carry-upper: together with the
+        # base-lower x base-upper products already folded into the later
+        # base levels, that is the full FM closure of the union.
+        local_bounds: list[list[_Ineq]] = []
+        for victim, lowers, uppers in self._levels:
+            kept: list[_Ineq] = []
+            for q in carry:
+                if q.expr.is_const():
+                    if q.expr.const > 0:
+                        return self._unsat(q.comb)
+                else:
+                    kept.append(q)
+            c_lowers: list[_Ineq] = []
+            c_uppers: list[_Ineq] = []
+            c_others: list[_Ineq] = []
+            for q in kept:
+                c = q.expr.coeff(victim)
+                if c < 0:
+                    c_lowers.append(q)
+                elif c > 0:
+                    c_uppers.append(q)
+                else:
+                    c_others.append(q)
+            local_bounds.append(c_lowers + c_uppers)
+            new = c_others
+            for lo in c_lowers:
+                cl = -lo.expr.coeff(victim)
+                for up in uppers + c_uppers:
+                    cu = up.expr.coeff(victim)
+                    expr = lo.expr.scale(cu) + up.expr.scale(cl)
+                    comb = _comb_add(
+                        {k: v * cu for k, v in lo.comb.items()}, up.comb, cl
+                    )
+                    new.append(_Ineq(expr, comb))
+            for lo in lowers:
+                cl = -lo.expr.coeff(victim)
+                for up in c_uppers:
+                    cu = up.expr.coeff(victim)
+                    expr = lo.expr.scale(cu) + up.expr.scale(cl)
+                    comb = _comb_add(
+                        {k: v * cu for k, v in lo.comb.items()}, up.comb, cl
+                    )
+                    new.append(_Ineq(expr, comb))
+            carry = new
+
+        # Whatever survives mentions only variables the base never saw;
+        # finish them with a scratch mini-elimination.
+        leftover: list[_Ineq] = []
+        for q in carry:
+            if q.expr.is_const():
+                if q.expr.const > 0:
+                    return self._unsat(q.comb)
+            else:
+                leftover.append(q)
+        env: dict[str, Fraction] = {}
+        if leftover:
+            sub = _solve([LinLe(q.expr) for q in leftover], depth=0)
+            if not sub.is_sat:
+                core: set[int] = set()
+                for i in sub.core or frozenset(range(len(leftover))):
+                    core.update(leftover[i].comb)
+                return LiaResult(
+                    "unsat", core=frozenset(core), farkas=None,
+                    all_equalities=False,
+                )
+            env = {k: Fraction(v) for k, v in (sub.model or {}).items()}
+
+        # Model: back-substitute through the levels (base bounds plus the
+        # carried bounds consumed at each level), then the Gaussian defs.
+        try:
+            for (victim, lowers, uppers), extra_bounds in zip(
+                reversed(self._levels), reversed(local_bounds)
+            ):
+                lo_val: Fraction | None = None
+                hi_val: Fraction | None = None
+                for q in lowers + uppers + extra_bounds:
+                    c = q.expr.coeff(victim)
+                    rest = q.expr + LinExpr({victim: -c})
+                    for name in rest.vars():
+                        env.setdefault(name, Fraction(0))
+                    bound = -rest.evaluate(env) / c
+                    if c > 0:
+                        hi_val = bound if hi_val is None else min(hi_val, bound)
+                    else:
+                        lo_val = bound if lo_val is None else max(lo_val, bound)
+                env[victim] = _pick_value(lo_val, hi_val)
+        except AssertionError:
+            # Defensive: an empty interval cannot arise from a complete FM
+            # closure, but a scratch solve is always a correct answer.
+            return _solve(self.base + list(extras), depth=0)
+
+        for name, definition in reversed(self._defs_backsub):
+            for dep in definition.vars():
+                env.setdefault(dep, Fraction(0))
+            env[name] = definition.evaluate(env)
+
+        if any(v.denominator != 1 for v in env.values()):
+            # Integer repair needs branch-and-bound over the full system.
+            return _solve(self.base + list(extras), depth=0)
+        return LiaResult("sat", model={k: int(v) for k, v in env.items()})
 
 
 def _pick_value(lo: Fraction | None, hi: Fraction | None) -> Fraction:

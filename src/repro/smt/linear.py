@@ -49,7 +49,7 @@ class NonLinearError(ValueError):
 class LinExpr:
     """An immutable linear expression ``sum(coeffs[v] * v) + const``."""
 
-    __slots__ = ("coeffs", "const", "_hash")
+    __slots__ = ("coeffs", "const", "_hash", "_key")
 
     def __init__(self, coeffs: Mapping[str, Fraction] | None = None, const=0):
         clean = {}
@@ -61,6 +61,7 @@ class LinExpr:
         object.__setattr__(self, "coeffs", dict(clean))
         object.__setattr__(self, "const", Fraction(const))
         object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_key", None)
 
     def __setattr__(self, *a):
         raise AttributeError("LinExpr is immutable")
@@ -158,7 +159,11 @@ class LinExpr:
     # -- equality / hashing ----------------------------------------------------
 
     def key(self) -> tuple:
-        return (tuple(sorted(self.coeffs.items())), self.const)
+        k = self._key
+        if k is None:
+            k = (tuple(sorted(self.coeffs.items())), self.const)
+            object.__setattr__(self, "_key", k)
+        return k
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, LinExpr):
@@ -241,11 +246,29 @@ class LinEq:
         return f"{self.expr!r} == 0"
 
 
+#: Bounded memo for :func:`linearize`: interned terms make the same atom
+#: sides pointer-identical across sessions, the abstractor, and the cache
+#: key builder, so each is linearized once per process.
+_LINEARIZE_MEMO: dict[Term, LinExpr] = {}
+_LINEARIZE_MEMO_LIMIT = 200_000
+
+
 def linearize(t: Term) -> LinExpr:
-    """Convert an arithmetic term into linear form.
+    """Convert an arithmetic term into linear form (memoized).
 
     Raises :class:`NonLinearError` on products of two non-constant terms.
     """
+    cached = _LINEARIZE_MEMO.get(t)
+    if cached is not None:
+        return cached
+    result = _linearize(t)
+    if len(_LINEARIZE_MEMO) >= _LINEARIZE_MEMO_LIMIT:
+        _LINEARIZE_MEMO.clear()
+    _LINEARIZE_MEMO[t] = result
+    return result
+
+
+def _linearize(t: Term) -> LinExpr:
     if isinstance(t, Var):
         return LinExpr({t.name: Fraction(1)})
     if isinstance(t, IntConst):

@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import threading
 
-from .cnf import AtomTable, _encode, rewrite_to_le, to_nnf
+from .cnf import AtomTable, _encode, nnf_of
 from . import lia
 from .linear import LinExpr, LinLe, linearize
 from .sat import SAT, SatSolver
@@ -128,7 +128,7 @@ class Session:
 
     def check(self, formula: Term) -> SmtResult:
         """Satisfiability of ``formula``, reusing the live instance."""
-        nnf = to_nnf(rewrite_to_le(formula))
+        nnf = nnf_of(formula)
         return self.check_nnf(nnf, formula)
 
     def check_nnf(self, nnf: Term, original: Term | None = None) -> SmtResult:

@@ -60,7 +60,21 @@ def _fold_node(t: Term) -> Term | None:
     return None
 
 
+#: Bounded memo: with hash-consing, repeatedly folded formulas (region
+#: formulas, trace conjuncts) are pointer-identical, so the rewrite runs
+#: once per distinct term.
+_FOLD_MEMO: dict[Term, Term] = {}
+_FOLD_MEMO_LIMIT = 100_000
+
+
 def fold_constants(t: Term) -> Term:
     """Evaluate closed sub-terms; boolean connectives simplify through the
     smart constructors during reconstruction."""
-    return transform(t, _fold_node)
+    cached = _FOLD_MEMO.get(t)
+    if cached is not None:
+        return cached
+    result = transform(t, _fold_node)
+    if len(_FOLD_MEMO) >= _FOLD_MEMO_LIMIT:
+        _FOLD_MEMO.clear()
+    _FOLD_MEMO[t] = result
+    return result

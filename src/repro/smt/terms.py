@@ -7,13 +7,32 @@ linear integer arithmetic (QF_LIA), so the term language here is deliberately
 small: integer variables and constants, linear-friendly arithmetic (``+``,
 ``-``, ``*``), comparisons, and the boolean connectives.
 
-Terms are immutable and hash-consed through ``__slots__`` dataclass-style
-classes with cached hashes, so they can be used freely as dictionary keys and
-set members throughout the verifier.
+Terms are immutable and **hash-consed**: every constructor call goes through
+a per-process intern table (``_TermMeta.__call__``), so structurally equal
+terms built anywhere in the process are the *same object*.  Equality between
+two interned terms is pointer identity, hashes are computed once at intern
+time, and the traversals that dominate the verifier's hot path
+(``free_vars``, ``atoms``, ``substitute``) memoize per interned node.
+Unpickling re-interns bottom-up through ``__reduce__``, so pointer identity
+survives the scheduler's and serve daemon's process boundaries.
+
+The structural-equality path is preserved behind :func:`set_interning` for
+the differential test harness (``tests/smt/test_hashcons_differential.py``):
+with interning off, constructors return fresh nodes and ``__eq__`` falls
+back to comparing ``key()`` tuples, exactly as before the intern table
+existed.  Mixing terms from both modes is safe -- the identity fast path is
+taken only between two terms interned in the same table generation.
+
+:class:`UnionFind` provides the canonicalizer for terms unified during
+inference (path compression + union by rank, after thorin's
+``Infer::find``): the incremental conjunction contexts use it to collapse
+variables aliased by equality atoms onto one representative.
 """
 
 from __future__ import annotations
 
+import itertools
+import threading
 from typing import Callable, Iterator, Mapping
 
 __all__ = [
@@ -33,6 +52,7 @@ __all__ = [
     "Iff",
     "TRUE",
     "FALSE",
+    "UnionFind",
     "var",
     "num",
     "add",
@@ -56,16 +76,124 @@ __all__ = [
     "evaluate",
     "atoms",
     "is_atom",
+    "set_interning",
+    "interning_enabled",
+    "intern_generation",
+    "intern_stats",
+    "clear_intern_table",
 ]
 
 
-class Term:
+class _InternState:
+    """The per-process intern table and its bookkeeping."""
+
+    __slots__ = ("table", "generation", "counter", "interning", "lock")
+
+    def __init__(self) -> None:
+        self.table: dict[tuple, "Term"] = {}
+        #: Bumped on :func:`clear_intern_table`; generation 0 is reserved
+        #: for non-interned (structural-mode) terms.
+        self.generation = 1
+        self.counter = itertools.count(1)
+        self.interning = True
+        self.lock = threading.Lock()
+
+
+_INTERN = _InternState()
+
+
+def set_interning(enabled: bool) -> bool:
+    """Switch hash-consing on or off; returns the previous setting.
+
+    Turning interning off preserves the historical structural-equality
+    behavior (fresh node per constructor call).  Existing interned terms
+    stay valid either way; only *new* constructions are affected.  Meant
+    for the differential harness and benchmarks -- production code never
+    toggles this.
+    """
+    prev = _INTERN.interning
+    _INTERN.interning = bool(enabled)
+    if prev != _INTERN.interning:
+        _SUBST_MEMO.clear()
+    return prev
+
+
+def interning_enabled() -> bool:
+    return _INTERN.interning
+
+
+def intern_generation() -> int:
+    """The live table generation (0 never occurs; see ``Term._gen``)."""
+    return _INTERN.generation
+
+
+def intern_stats() -> dict:
+    """Size and bookkeeping of the intern table (diagnostics)."""
+    return {
+        "size": len(_INTERN.table),
+        "generation": _INTERN.generation,
+        "interning": _INTERN.interning,
+    }
+
+
+def clear_intern_table() -> None:
+    """Drop the intern table and start a new generation.
+
+    Live terms keep working -- two terms interned in *different*
+    generations compare structurally, so clearing can never make equal
+    terms unequal.  Only tests use this; a long-lived process keeps one
+    table (terms are small and heavily shared).
+    """
+    with _INTERN.lock:
+        _INTERN.table = {}
+        _INTERN.generation += 1
+        _SUBST_MEMO.clear()
+
+
+class _TermMeta(type):
+    """Metaclass routing every construction through the intern table.
+
+    ``Cls(args)`` builds a candidate the normal way, then returns the
+    canonical object for its ``key()`` if one exists.  The candidate is
+    registered atomically (``dict.setdefault`` under the GIL), so
+    concurrent construction from the serve daemon's worker threads can
+    never publish two distinct objects for one key in one generation.
+    """
+
+    def __call__(cls, *args, **kwargs):
+        self = super().__call__(*args, **kwargs)
+        state = _INTERN
+        if not state.interning:
+            object.__setattr__(self, "_gen", 0)
+            object.__setattr__(self, "_tid", None)
+            return self
+        key = self.key()
+        canonical = state.table.get(key)
+        if canonical is not None:
+            return canonical
+        object.__setattr__(self, "_hash", hash(key))
+        object.__setattr__(self, "_gen", state.generation)
+        object.__setattr__(self, "_tid", next(state.counter))
+        return state.table.setdefault(key, self)
+
+
+class Term(metaclass=_TermMeta):
     """Base class of all terms and formulas."""
 
-    __slots__ = ("_hash",)
+    __slots__ = ("_hash", "_gen", "_tid", "_free", "_atoms")
 
     def key(self) -> tuple:
         raise NotImplementedError
+
+    @property
+    def tid(self) -> int | None:
+        """The intern id: a process-unique integer for interned terms.
+
+        ``None`` for terms built with interning disabled.  Together with
+        :func:`intern_generation` this forms the compact canonical-id
+        cache keys used by :mod:`repro.smt.qcache`.
+        """
+        return self._tid
 
     def __hash__(self) -> int:
         h = getattr(self, "_hash", None)
@@ -79,6 +207,11 @@ class Term:
             return True
         if not isinstance(other, Term):
             return NotImplemented
+        # Two distinct objects interned in the same table generation are
+        # structurally distinct by construction -- equality is identity.
+        g = self._gen
+        if g and g == other._gen:
+            return False
         return type(self) is type(other) and self.key() == other.key()
 
     def __ne__(self, other: object) -> bool:
@@ -91,7 +224,9 @@ class Term:
         # The default slot-based pickling calls setattr on the restored
         # object, which trips the immutability guard.  Every leaf class
         # takes exactly its key() payload (minus the tag) as constructor
-        # arguments, so rebuild through the constructor instead.
+        # arguments, so rebuild through the constructor instead -- which
+        # routes through the metaclass and therefore *re-interns* the
+        # term (bottom-up, children first) in the receiving process.
         return (type(self), self.key()[1:])
 
     def __repr__(self) -> str:
@@ -471,9 +606,44 @@ def subterms(t: Term) -> Iterator[Term]:
         stack.extend(children(cur))
 
 
+_EMPTY_VARS: frozenset[str] = frozenset()
+
+
 def free_vars(t: Term) -> frozenset[str]:
-    """The set of variable names occurring in ``t``."""
-    return frozenset(s.name for s in subterms(t) if isinstance(s, Var))
+    """The set of variable names occurring in ``t``.
+
+    Memoized per node (``_free`` slot): interning makes structurally
+    equal terms one object, so the support of a shared subtree is
+    computed once per process.  The walk is iterative post-order and
+    unions the children's *cached* sets, so a cold call is linear in the
+    number of distinct nodes, not in tree size.
+    """
+    fv = getattr(t, "_free", None)
+    if fv is not None:
+        return fv
+    stack: list[tuple[Term, bool]] = [(t, False)]
+    while stack:
+        node, ready = stack.pop()
+        if getattr(node, "_free", None) is not None:
+            continue
+        if not ready:
+            stack.append((node, True))
+            for k in children(node):
+                if getattr(k, "_free", None) is None:
+                    stack.append((k, False))
+            continue
+        if isinstance(node, Var):
+            fv = frozenset((node.name,))
+        else:
+            kids = children(node)
+            if not kids:
+                fv = _EMPTY_VARS
+            elif len(kids) == 1:
+                fv = kids[0]._free
+            else:
+                fv = frozenset().union(*(k._free for k in kids))
+        object.__setattr__(node, "_free", fv)
+    return t._free
 
 
 def _rebuild(t: Term, new_children: list[Term]) -> Term:
@@ -514,17 +684,50 @@ def transform(t: Term, fn: Callable[[Term], Term | None]) -> Term:
     return t if replacement is None else replacement
 
 
+#: Bounded global memo for :func:`substitute`, keyed by the target term
+#: and the (name-sorted) mapping items.  Cleared wholesale at the limit
+#: and whenever the interning mode flips, so entries never cross modes.
+_SUBST_MEMO: dict[tuple, Term] = {}
+_SUBST_MEMO_LIMIT = 100_000
+
+
 def substitute(t: Term, mapping: Mapping[str, Term]) -> Term:
-    """Simultaneously substitute variables by terms."""
+    """Simultaneously substitute variables by terms.
+
+    Subtrees whose memoized :func:`free_vars` are disjoint from the
+    mapped names are returned untouched without descending into them --
+    with interning this turns the havoc/renaming passes from tree walks
+    into a handful of set checks plus rebuilds along the spine that
+    actually changes.
+    """
     if not mapping:
         return t
+    keys = frozenset(mapping)
+    if free_vars(t).isdisjoint(keys):
+        return t
+    memo_key = (t, tuple(sorted(mapping.items(), key=lambda kv: kv[0])))
+    cached = _SUBST_MEMO.get(memo_key)
+    if cached is not None:
+        return cached
 
-    def subst(node: Term) -> Term | None:
-        if isinstance(node, Var) and node.name in mapping:
-            return mapping[node.name]
-        return None
+    def go(node: Term) -> Term:
+        if free_vars(node).isdisjoint(keys):
+            return node
+        if isinstance(node, Var):
+            return mapping.get(node.name, node)
+        kids = children(node)
+        if not kids:
+            return node
+        new_kids = [go(k) for k in kids]
+        if all(nk is ok for nk, ok in zip(new_kids, kids)):
+            return node
+        return _rebuild(node, new_kids)
 
-    return transform(t, subst)
+    result = go(t)
+    if len(_SUBST_MEMO) >= _SUBST_MEMO_LIMIT:
+        _SUBST_MEMO.clear()
+    _SUBST_MEMO[memo_key] = result
+    return result
 
 
 def rename(t: Term, mapping: Mapping[str, str]) -> Term:
@@ -576,9 +779,106 @@ def is_atom(t: Term) -> bool:
     return isinstance(t, (Cmp, BoolConst))
 
 
+_EMPTY_ATOMS: frozenset[Term] = frozenset()
+
+
 def atoms(t: Term) -> frozenset[Term]:
-    """All comparison atoms occurring in a formula."""
-    return frozenset(s for s in subterms(t) if isinstance(s, Cmp))
+    """All comparison atoms occurring in a formula.
+
+    Memoized per node (``_atoms`` slot) the same way as
+    :func:`free_vars`: shared subtrees contribute their cached atom set.
+    """
+    cached = getattr(t, "_atoms", None)
+    if cached is not None:
+        return cached
+    stack: list[tuple[Term, bool]] = [(t, False)]
+    while stack:
+        node, ready = stack.pop()
+        if getattr(node, "_atoms", None) is not None:
+            continue
+        if not ready:
+            stack.append((node, True))
+            for k in children(node):
+                if getattr(k, "_atoms", None) is None:
+                    stack.append((k, False))
+            continue
+        kids = children(node)
+        if not kids:
+            found = _EMPTY_ATOMS
+        elif len(kids) == 1:
+            found = kids[0]._atoms
+        else:
+            found = frozenset().union(*(k._atoms for k in kids))
+        if isinstance(node, Cmp):
+            found = found | {node}
+        object.__setattr__(node, "_atoms", found)
+    return t._atoms
+
+
+# ---------------------------------------------------------------------------
+# Union-find canonicalization
+# ---------------------------------------------------------------------------
+
+
+class UnionFind:
+    """Union-find over terms with path compression and union by rank.
+
+    The two-pass ``find`` (walk to the root, then repoint the visited
+    chain) follows thorin's ``Infer::find`` idiom.  :meth:`canon`
+    rewrites a term bottom-up through the representatives; for the
+    variable-level unions the conjunction contexts perform (``x == y``
+    with unit coefficients) a single pass is idempotent, because the
+    representatives substituted in are themselves leaf terms.
+    """
+
+    __slots__ = ("_parent", "_rank")
+
+    def __init__(self) -> None:
+        #: Absence from ``_parent`` means the term is its own root.
+        self._parent: dict[Term, Term] = {}
+        self._rank: dict[Term, int] = {}
+
+    def find(self, t: Term) -> Term:
+        parent = self._parent
+        root = t
+        chain: list[Term] = []
+        while True:
+            nxt = parent.get(root)
+            if nxt is None or nxt == root:
+                break
+            chain.append(root)
+            root = nxt
+        for node in chain:
+            parent[node] = root
+        return root
+
+    def union(self, a: Term, b: Term) -> Term:
+        """Merge the classes of ``a`` and ``b``; returns the representative."""
+        ra = self.find(a)
+        rb = self.find(b)
+        if ra == rb:
+            return ra
+        rank = self._rank
+        ka = rank.get(ra, 0)
+        kb = rank.get(rb, 0)
+        if ka < kb:
+            ra, rb = rb, ra
+            ka, kb = kb, ka
+        self._parent[rb] = ra
+        if ka == kb:
+            rank[ra] = ka + 1
+        return ra
+
+    def canon(self, t: Term) -> Term:
+        """Rewrite ``t`` with every subterm replaced by its representative."""
+        root = self.find(t)
+        kids = children(root)
+        if not kids:
+            return root
+        new_kids = [self.canon(k) for k in kids]
+        if all(nk is ok for nk, ok in zip(new_kids, kids)):
+            return root
+        return self.find(_rebuild(root, new_kids))
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,179 @@
+"""ArgStore support-based invalidation under the hash-consed term layer.
+
+The store records, for every post memo entry, the free variables its key
+formulas mention; subtree invalidation intersects those recorded sets
+against each new predicate's support.  With interning, both sides come
+from the per-node ``free_vars`` memo, so these tests pin the memoized
+sets against from-scratch structural walks and check that invalidation
+drops *exactly* the entries the old walk would have dropped -- in both
+equality modes.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circ.circ import CircBudgetExceeded, CircError, circ
+from repro.fuzz.gen import GenConfig, generate
+from repro.lang.lower import lower_thread
+from repro.reach import ArgStore
+from repro.smt import terms as T
+
+SETTINGS = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+seeds = st.integers(min_value=0, max_value=100_000)
+
+BUDGET = dict(max_outer=6, max_inner=40, timeout_s=20.0)
+
+
+def _run(cfa, race_on, **kwargs):
+    try:
+        return circ(cfa, race_on=race_on, **BUDGET, **kwargs)
+    except CircBudgetExceeded as exc:
+        return exc.result
+    except CircError:
+        return None
+
+
+def _populated_store(seed):
+    gp = generate(seed, GenConfig(pointers=False))
+    cfa = lower_thread(gp.program, gp.thread)
+    store = ArgStore()
+    result = _run(cfa, gp.race_var, store=store)
+    return store, gp, result
+
+
+def _scratch_vars(term):
+    """Structural free-variable walk, bypassing the per-node memo."""
+    return frozenset(
+        n.name for n in T.subterms(term) if isinstance(n, T.Var)
+    )
+
+
+def _scratch_region_vars(region, preds):
+    out = set()
+    for idx, _ in region.literals:
+        out |= _scratch_vars(preds[idx])
+    return out
+
+
+def _oracle_supports(store):
+    """Recompute every memo entry's support from its key, structurally.
+
+    Region literal indices are stable across predicate-set extensions
+    (the store enforces the prefix property), so the final abstractor's
+    predicate set resolves every recorded region.
+    """
+    preds = store._abstractor.preds
+    main = {}
+    for (region, op), (_, entry_vars) in store._main_post.items():
+        oracle = (
+            _scratch_region_vars(region, preds) | op.reads() | op.writes()
+        )
+        main[(region, op)] = (entry_vars, frozenset(oracle))
+    ctx = {}
+    for key, (_, entry_vars) in store._ctx_post.items():
+        region, src_label, havoc, dst_label = key
+        oracle = _scratch_region_vars(region, preds)
+        for t in src_label:
+            oracle |= _scratch_vars(t)
+        for t in dst_label:
+            oracle |= _scratch_vars(t)
+        ctx[key] = (entry_vars, frozenset(oracle))
+    return main, ctx
+
+
+@settings(**SETTINGS)
+@given(seeds)
+def test_recorded_supports_match_structural_walk(seed):
+    store, _, _ = _populated_store(seed)
+    if store._abstractor is None:
+        return  # verdict fell out before any post was computed
+    main, ctx = _oracle_supports(store)
+    for recorded, oracle in list(main.values()) + list(ctx.values()):
+        assert recorded == oracle
+
+
+@settings(**SETTINGS)
+@given(seeds)
+def test_invalidation_drops_exactly_what_the_old_walk_would(seed):
+    store, gp, _ = _populated_store(seed)
+    if store._abstractor is None:
+        return
+    # One predicate over the race variable (guaranteed to exist in the
+    # program) and one over a variable no generated program mentions.
+    probes = [
+        T.le(T.var(gp.race_var), T.num(1)),
+        T.ge(T.var("zz_unseen"), T.num(0)),
+    ]
+    for probe in probes:
+        support = _scratch_vars(probe)
+        before_main = dict(store._main_post.items())
+        before_ctx = dict(store._ctx_post.items())
+        doomed_main = {
+            k for k, (_, vs) in before_main.items() if vs & support
+        }
+        doomed_ctx = {
+            k for k, (_, vs) in before_ctx.items() if vs & support
+        }
+        invalidated_before = store.counters["entries_invalidated"]
+        store._invalidate_for_predicates([probe])
+        assert set(store._main_post.keys()) == (
+            set(before_main) - doomed_main
+        )
+        assert set(store._ctx_post.keys()) == (set(before_ctx) - doomed_ctx)
+        assert store.counters["entries_invalidated"] == (
+            invalidated_before + len(doomed_main) + len(doomed_ctx)
+        )
+
+
+def test_degenerate_predicate_forces_a_full_drop():
+    store, _, _ = _populated_store(7)
+    if store._abstractor is None or not len(store._main_post):
+        store, _, _ = _populated_store(0)
+    v = T.var("q")
+    store._invalidate_for_predicates([T.eq(v, v)])  # valid: degenerate
+    assert len(store._main_post) == 0
+    assert len(store._ctx_post) == 0
+    assert len(store._results) == 0
+
+
+def test_supports_and_reuse_match_across_equality_modes():
+    """The store must behave identically on the structural path: same
+    observable result, same recorded supports, same reuse telemetry on a
+    warm re-run."""
+    for seed in (0, 7, 42):
+        per_mode = {}
+        for interning in (True, False):
+            prev = T.set_interning(interning)
+            try:
+                gp = generate(seed, GenConfig(pointers=False))
+                cfa = lower_thread(gp.program, gp.thread)
+                store = ArgStore()
+                first = _run(cfa, gp.race_var, store=store)
+                second = _run(cfa, gp.race_var, store=store)
+                supports = None
+                if store._abstractor is not None:
+                    main, ctx = _oracle_supports(store)
+                    for recorded, oracle in list(main.values()) + list(
+                        ctx.values()
+                    ):
+                        assert recorded == oracle
+                    supports = sorted(
+                        (
+                            sorted(vs)
+                            for vs, _ in list(main.values())
+                            + list(ctx.values())
+                        ),
+                    )
+                per_mode[interning] = (
+                    None if first is None else type(first).__name__,
+                    None if second is None else type(second).__name__,
+                    None if second is None else second.stats.reuse,
+                    supports,
+                )
+            finally:
+                T.set_interning(prev)
+        assert per_mode[True] == per_mode[False]

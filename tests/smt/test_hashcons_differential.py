@@ -1,0 +1,232 @@
+"""Differential harness: hash-consing must be observationally invisible.
+
+Every workload here runs twice -- once with the intern table on, once on
+the preserved structural-equality path (:func:`repro.smt.terms
+.set_interning`) -- from identical cold global state, and the two runs
+must agree on *everything a caller can observe*: verdicts, discovered
+predicates, exploration statistics, report-v1 rows, solver query counts,
+and the shared query cache's hit/miss deltas.
+
+Workloads cover the three public entry paths:
+
+* **check** -- :func:`repro.circ.circ` on the Fig 2-4 test-and-set model
+  and a seeded fuzz-generator sample;
+* **batch** -- :func:`repro.engine.run_batch` over a small model set,
+  compared on shared-schema report rows;
+* **portfolio** -- :func:`repro.portfolio.driver.run_portfolio` with
+  cancellation off (maximal disagreement surface), compared row-wise.
+
+The ``smoke`` tests are the CI slice (fast, fixed inputs); the fuzz
+sample extends the same properties over generated programs.
+"""
+
+from repro.circ.circ import CircBudgetExceeded, CircError, circ
+from repro.circ.result import CircSafe, CircUnsafe
+from repro.engine import BatchItem, run_batch
+from repro.fuzz.gen import GenConfig, generate
+from repro.lang import lower_source
+from repro.lang.lower import lower_thread
+from repro.nesc.programs import TEST_AND_SET_SOURCE
+from repro.portfolio.driver import run_portfolio
+from repro.races.report import rows_from_batch, rows_from_portfolio
+from repro.smt import terms as T
+from repro.smt.profile import PROFILER
+from repro.smt.qcache import SAT_CACHE
+from repro.smt.session import reset_default_session
+
+#: A program with an unprotected write: the racy counterpart of Fig 2-4.
+RACY_SOURCE = """
+global int y;
+thread main {
+  y = y + 1;
+}
+"""
+
+BUDGET = dict(max_outer=6, max_inner=40, timeout_s=20.0)
+
+FUZZ_SEEDS = (0, 7, 19, 42, 1001, 4242)
+
+
+def _cold_state() -> None:
+    SAT_CACHE.clear()
+    reset_default_session()
+    T.clear_intern_table()
+    PROFILER.reset()
+
+
+def _run_mode(interning: bool, fn):
+    """Run ``fn`` from cold global state under the given equality mode.
+
+    Returns ``(result, qcache delta, profiler totals)``.  Cache counters
+    survive :meth:`QueryCache.clear`, so deltas are measured against a
+    pre-run snapshot.
+    """
+    prev = T.set_interning(interning)
+    try:
+        _cold_state()
+        before = SAT_CACHE.stats()
+        out = fn()
+        after = SAT_CACHE.stats()
+        delta = {k: after[k] - before[k] for k in ("hits", "misses")}
+        totals = PROFILER.totals()
+        queries = {
+            k: totals[k] for k in ("queries", "sat", "unsat", "cache_hits")
+        }
+        return out, delta, queries
+    finally:
+        T.set_interning(prev)
+        _cold_state()
+
+
+def _differential(fn):
+    """Run ``fn`` in both modes; assert cache/query parity; return both."""
+    interned, d_on, q_on = _run_mode(True, fn)
+    structural, d_off, q_off = _run_mode(False, fn)
+    assert d_on == d_off, f"qcache hit/miss deltas diverged: {d_on} {d_off}"
+    assert q_on == q_off, f"solver query counts diverged: {q_on} {q_off}"
+    return interned, structural
+
+
+def _circ_observables(result):
+    if result is None:
+        return None
+    obs = {
+        "kind": type(result).__name__,
+        "predicates": tuple(p.key() for p in result.predicates),
+        "outer": result.stats.outer_iterations,
+        "inner": result.stats.inner_iterations,
+        "states": result.stats.abstract_states,
+        "final_k": result.stats.final_k,
+    }
+    if isinstance(result, CircSafe):
+        obs["acfa_size"] = result.context.size
+    if isinstance(result, CircUnsafe):
+        obs["steps"] = len(result.steps)
+        obs["threads"] = result.n_threads
+    return obs
+
+
+def _checked(cfa, race_on):
+    try:
+        return circ(cfa, race_on=race_on, **BUDGET)
+    except CircBudgetExceeded as exc:
+        return exc.result
+    except CircError:
+        return None
+
+
+def _row_objs(rows):
+    """Report-v1 rows with the wall-clock field masked (all else exact)."""
+    out = []
+    for r in rows:
+        obj = r.to_obj()
+        obj.pop("time_ms")
+        out.append(obj)
+    return out
+
+
+# -- CI smoke slice -----------------------------------------------------------
+
+
+def test_smoke_fig2to4_check_path():
+    def run():
+        result = circ(
+            lower_source(TEST_AND_SET_SOURCE), race_on="x", keep_history=True
+        )
+        return _circ_observables(result)
+
+    interned, structural = _differential(run)
+    assert interned == structural
+    assert interned["kind"] == "CircSafe"
+
+
+def test_smoke_batch_path_report_rows():
+    items = [
+        BatchItem(model="fig2to4", source=TEST_AND_SET_SOURCE, variables=("x",)),
+        BatchItem(model="racy", source=RACY_SOURCE, variables=("y",)),
+    ]
+
+    def run():
+        report = run_batch(items, cache_dir=None, workers=1)
+        return _row_objs(rows_from_batch(report))
+
+    interned, structural = _differential(run)
+    assert interned == structural
+    verdicts = {r["model"]: r["verdict"] for r in interned}
+    assert verdicts == {"fig2to4": "safe", "racy": "race"}
+
+
+def test_smoke_portfolio_path_report_rows():
+    def run():
+        report = run_portfolio(
+            lower_source(TEST_AND_SET_SOURCE),
+            "x",
+            cancel=False,
+            parallel=False,
+        )
+        rows = _row_objs(rows_from_portfolio(report, model="fig2to4"))
+        return report.verdict, rows
+
+    (v_on, rows_on), (v_off, rows_off) = _differential(run)
+    assert v_on == v_off == "safe"
+    assert rows_on == rows_off
+
+
+# -- seeded fuzz sample -------------------------------------------------------
+
+
+def test_fuzz_sample_check_path():
+    programs = []
+    for seed in FUZZ_SEEDS:
+        gp = generate(seed, GenConfig(pointers=False))
+        programs.append((seed, gp.program, gp.thread, gp.race_var))
+
+    def run():
+        out = {}
+        for seed, program, thread, race_var in programs:
+            cfa = lower_thread(program, thread)
+            out[seed] = _circ_observables(_checked(cfa, race_var))
+        return out
+
+    interned, structural = _differential(run)
+    assert interned == structural
+
+
+def test_fuzz_sample_batch_rows():
+    items = []
+    for seed in FUZZ_SEEDS[:3]:
+        gp = generate(seed, GenConfig(pointers=False))
+        items.append(
+            BatchItem(
+                model=f"fuzz-{seed}",
+                source=gp.source,
+                thread=gp.thread,
+                variables=(gp.race_var,),
+            )
+        )
+
+    def run():
+        report = run_batch(items, cache_dir=None, workers=1, **BUDGET)
+        return _row_objs(rows_from_batch(report))
+
+    interned, structural = _differential(run)
+    assert interned == structural
+
+
+# -- mode bookkeeping sanity --------------------------------------------------
+
+
+def test_modes_actually_differ():
+    """The harness would be vacuous if both runs took the interned path."""
+    prev = T.set_interning(True)
+    try:
+        a = T.le(T.var("hc_probe"), T.num(1))
+        b = T.le(T.var("hc_probe"), T.num(1))
+        assert a is b and a.tid is not None
+        T.set_interning(False)
+        c = T.le(T.var("hc_probe"), T.num(1))
+        d = T.le(T.var("hc_probe"), T.num(1))
+        assert c is not d and c.tid is None
+        assert c == d == a
+    finally:
+        T.set_interning(prev)
