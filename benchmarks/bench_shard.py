@@ -1,0 +1,173 @@
+"""Serial vs sharded engine on a fuzz-generated corpus.
+
+Measures one serial run (``workers=1``) against one sharded run
+(4 work-stealing worker processes over 8 digest buckets) on an enlarged
+corpus of generated programs, then gates on two criteria:
+
+* **verdict equivalence** -- always enforced: the sharded coordinator is
+  a pure accelerator and every (model, variable) verdict must equal the
+  serial run's (the merged canonical payloads must be byte-identical);
+* **speedup** -- scaled to the machine, because sharding CPU-bound
+  verification cannot beat serial on a single core: >= 2.5x with 4+
+  CPUs (the CI gate), >= 1.2x with 2-3 CPUs, and no wall gate on one
+  CPU (recorded honestly in the payload as ``wall_gate: "skipped"``).
+
+Standalone run (writes ``BENCH_shard.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_shard.py [--quick] [--out F]
+
+Under pytest a small corpus checks equivalence only (CI's benchmark
+smoke runs with ``--benchmark-disable`` and must stay fast)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_shard.py -q
+"""
+
+import json
+import os
+import time
+
+from repro.engine import BatchItem, run_batch
+from repro.fuzz.gen import GenConfig, generate
+from repro.races.report import rows_from_batch, rows_to_payload
+from repro.shard.merge import merge_payloads, render_merged
+
+#: Race candidate every generated program exercises (see repro.fuzz.gen).
+RACE_VAR = "x"
+
+SHARDS = 8
+WORKERS = 4
+
+
+def corpus_items(n: int, first_seed: int = 1000) -> list[BatchItem]:
+    """``n`` generated programs as batch items (pointer-free: the digest
+    machinery slices pointer programs conservatively, which makes rows
+    expensive without adding sharding signal)."""
+    cfg = GenConfig(pointers=False)
+    items = []
+    for seed in range(first_seed, first_seed + n):
+        gp = generate(seed, cfg)
+        items.append(
+            BatchItem(
+                model=f"fuzz{seed}",
+                source=gp.source,
+                thread="t0",
+                variables=(RACE_VAR,),
+            )
+        )
+    return items
+
+
+def canonical(report) -> str:
+    return render_merged(
+        merge_payloads([rows_to_payload(rows_from_batch(report))])
+    )
+
+
+def run_pair(items, cache_root: str) -> dict:
+    """One serial and one sharded run on fresh cache dirs."""
+    t0 = time.perf_counter()
+    serial = run_batch(
+        items, cache_dir=os.path.join(cache_root, "serial"), workers=1
+    )
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sharded = run_batch(
+        items,
+        cache_dir=os.path.join(cache_root, "sharded"),
+        shards=SHARDS,
+        shard_workers=WORKERS,
+    )
+    sharded_s = time.perf_counter() - t0
+
+    return {
+        "serial_s": serial_s,
+        "sharded_s": sharded_s,
+        "speedup": serial_s / max(sharded_s, 1e-9),
+        "identical": canonical(serial) == canonical(sharded),
+        "serial": serial,
+        "sharded": sharded,
+    }
+
+
+def wall_gate(cpus: int) -> tuple[float | None, str]:
+    """The machine-scaled speedup floor (None = no wall gate)."""
+    if cpus >= 4:
+        return 2.5, ">=2.5x on 4+ cpus"
+    if cpus >= 2:
+        return 1.2, ">=1.2x on 2-3 cpus"
+    return None, "skipped (1 cpu: CPU-bound sharding cannot beat serial)"
+
+
+# -- pytest entry point (equivalence only, small corpus) ----------------------
+
+
+def test_sharded_verdicts_equal_serial(tmp_path):
+    out = run_pair(corpus_items(6), str(tmp_path))
+    assert out["identical"], "sharded run diverged from serial"
+
+
+# -- standalone entry point ---------------------------------------------------
+
+
+def main(argv=None) -> int:
+    import argparse
+    import tempfile
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small corpus (CI smoke); default is the enlarged corpus",
+    )
+    parser.add_argument("--out", default="BENCH_shard.json")
+    args = parser.parse_args(argv)
+
+    n = 12 if args.quick else 48
+    items = corpus_items(n)
+    cpus = os.cpu_count() or 1
+    print(
+        f"{len(items)} generated programs; {cpus} cpu(s); "
+        f"serial vs {WORKERS} workers over {SHARDS} shards ..."
+    )
+
+    with tempfile.TemporaryDirectory(prefix="bench-shard-") as root:
+        out = run_pair(items, root)
+
+    floor, gate_desc = wall_gate(cpus)
+    print(
+        f"serial  {out['serial_s']:7.2f}s\n"
+        f"sharded {out['sharded_s']:7.2f}s  "
+        f"(speedup {out['speedup']:.2f}x, gate: {gate_desc})"
+    )
+    assert out["identical"], "sharded verdicts diverged from serial"
+    if floor is not None:
+        assert out["speedup"] >= floor, (
+            f"speedup {out['speedup']:.2f}x below the {floor}x floor "
+            f"for {cpus} cpus"
+        )
+
+    serial = out["serial"]
+    payload = {
+        "benchmark": "shard",
+        "corpus": n,
+        "cpus": cpus,
+        "shards": SHARDS,
+        "workers": WORKERS,
+        "serial_wall_s": round(out["serial_s"], 3),
+        "sharded_wall_s": round(out["sharded_s"], 3),
+        "speedup": round(out["speedup"], 3),
+        "wall_gate": gate_desc if floor is None else f"{floor}x (passed)",
+        "verdicts_identical": True,
+        "verdicts": {
+            f"{r.model}/{r.variable}": r.verdict for r in serial.rows
+        },
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,7 +42,16 @@ Subcommands
     engine: static pruning, a content-addressed on-disk artifact cache
     (re-runs answer instantly), predicate warm-starting, and a parallel
     worker pool.  ``--json`` emits the shared report schema also used
-    by ``static --json``.
+    by ``static --json``.  ``--shards N --shard-id I`` runs only bucket
+    I of an N-way digest partition (no network needed; merge the
+    payloads afterwards); ``--workers M`` routes jobs through the
+    work-stealing sharded coordinator instead of the process pool.
+
+``merge-reports REPORT... [-o FILE]``
+    Deterministically merge per-shard report-v1 JSON payloads into one
+    canonical report: duplicates collapse, confident verdicts supersede
+    unknown, and a confident cross-shard disagreement is a hard error
+    (exit 2).  The exit code otherwise follows the merged verdicts.
 
 ``fuzz --seed N --iters K``
     Differential fuzzing: random programs through every verdict path
@@ -662,12 +671,22 @@ def _cmd_batch(args) -> int:
         options["incremental"] = False
     if args.portfolio:
         options["portfolio"] = True
+    if args.jobs is not None and args.workers is not None:
+        print(
+            "error: --jobs (process pool) and --workers (sharded "
+            "coordinator) are mutually exclusive",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
     report = run_batch(
         items,
         cache_dir=None if args.no_cache else args.cache,
         workers=args.jobs,
         events=args.events,
         prefilter=not args.no_prefilter,
+        shards=args.shards,
+        shard_id=args.shard_id,
+        shard_workers=args.workers,
         **options,
     )
     rows = rows_from_batch(report)
@@ -696,6 +715,36 @@ def _cmd_batch(args) -> int:
             f"{report.wall_ms / 1000.0:.1f}s"
         )
     return _verdict_exit(len(report.races), len(report.unknown))
+
+
+def _cmd_merge_reports(args) -> int:
+    import json
+
+    from .shard.merge import ShardConflict, merge_payloads, render_merged
+
+    payloads = []
+    for path in args.files:
+        try:
+            payloads.append(json.loads(Path(path).read_text()))
+        except ValueError as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+    try:
+        merged = merge_payloads(payloads)
+    except ShardConflict as exc:
+        # Two sound shards cannot disagree; mirroring the portfolio
+        # conflict policy, this is an internal soundness error surfaced
+        # loudly, never silently reconciled.
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    text = render_merged(merged)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    summary = merged["summary"]
+    return _verdict_exit(summary["races"], summary["unknown"])
 
 
 def _cmd_serve(args) -> int:
@@ -1131,7 +1180,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="resolve each job through the analysis portfolio "
         "(racer/absint/CIRC with cross-cancellation)",
     )
+    p.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        help="partition jobs into N digest buckets (see docs/SHARDING.md)",
+    )
+    p.add_argument(
+        "--shard-id",
+        type=int,
+        metavar="I",
+        help="dry-run mode: run only bucket I of an N-way partition "
+        "(requires --shards; merge the per-shard --json payloads with "
+        "'merge-reports')",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        metavar="M",
+        help="coordinated mode: run jobs through M work-stealing worker "
+        "processes (mutually exclusive with --jobs and --shard-id)",
+    )
     p.set_defaults(func=_cmd_batch)
+
+    p = sub.add_parser(
+        "merge-reports",
+        help="merge per-shard report-v1 JSON payloads deterministically",
+    )
+    p.add_argument(
+        "files", nargs="+", metavar="REPORT", help="report-v1 JSON files"
+    )
+    p.add_argument(
+        "-o", "--out", metavar="FILE", help="write the merged payload here"
+    )
+    p.set_defaults(func=_cmd_merge_reports)
 
     p = sub.add_parser(
         "serve",

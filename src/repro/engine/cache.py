@@ -13,14 +13,21 @@ variables all still hit.
 
 Robustness rules:
 
-* writes are atomic (temp file + ``os.replace``) so a killed process
-  never leaves a half-written object visible;
+* writes are atomic (unique temp file + ``os.replace``) so a killed
+  process -- or a concurrent writer -- never leaves a half-written
+  object visible, and a torn write can never trip the
+  checksum-quarantine path;
 * every object embeds a checksum of its payload; reads verify it and
   treat any mismatch, decode error, or schema violation as a **miss**
   (the corrupt file is unlinked so the slot heals on the next store);
-* concurrent writers may race on the same key -- last ``os.replace``
-  wins, which is fine because both wrote equivalent artifacts for the
-  same content digest.
+* concurrent writers may race on the same object/blob key -- last
+  ``os.replace`` wins, which is fine because both wrote equivalent
+  artifacts for the same content digest;
+* the **shape index is the one genuinely mutated slot** (different
+  digests append predicates to the same shape), so its update is a
+  read-merge-write under an advisory ``flock``: two shard workers
+  publishing predicates for the same shape accumulate instead of
+  clobbering each other.
 """
 
 from __future__ import annotations
@@ -28,13 +35,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
 from ..circ.result import CircResult
 from ..smt import terms as T
+from ..util.locks import atomic_write_text, file_lock
 from .artifacts import (
     ArtifactError,
     result_from_obj,
@@ -47,6 +54,9 @@ __all__ = ["CacheEntry", "ArtifactCache"]
 
 #: Bump when the on-disk entry format changes.
 CACHE_FORMAT = "circ-cache-v1"
+
+#: Warm-start seeds kept per shape after merging concurrent writers.
+MAX_SHAPE_PREDICATES = 32
 
 
 @dataclass
@@ -64,20 +74,7 @@ def _payload_checksum(payload: Any) -> str:
 
 
 def _atomic_write(path: Path, data: str) -> None:
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(
-        dir=path.parent, prefix=".tmp-", suffix=".json"
-    )
-    try:
-        with os.fdopen(fd, "w") as fh:
-            fh.write(data)
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+    atomic_write_text(path, data)
 
 
 class ArtifactCache:
@@ -223,16 +220,34 @@ class ArtifactCache:
     def _put_shape(
         self, shape: str, options_fp: str, predicates: tuple[T.Term, ...]
     ) -> None:
-        body = {
-            "format": CACHE_FORMAT,
-            "shape": shape,
-            "predicates": [term_to_obj(p) for p in predicates],
-        }
-        body["checksum"] = _payload_checksum(body["predicates"])
-        _atomic_write(
-            self._shape_path(shape, options_fp),
-            json.dumps(body, sort_keys=True, indent=1),
-        )
+        """Merge ``predicates`` into the shape's warm-start entry.
+
+        Unlike objects and blobs (content-addressed, so concurrent
+        writers store equivalent payloads), the shape slot aggregates
+        predicates from *different* digests.  The update is therefore a
+        read-merge-write under an advisory ``flock``: fresh predicates
+        go first, previously published ones that are still distinct
+        follow, capped at :data:`MAX_SHAPE_PREDICATES` so the seed set
+        stays a warm start rather than a predicate dump.
+        """
+        path = self._shape_path(shape, options_fp)
+        fresh = [term_to_obj(p) for p in predicates]
+        with file_lock(path.with_suffix(".lock")):
+            existing: list = []
+            payload = self._read_checked(path, field="predicates")
+            if payload is not None and payload.get("shape") == shape:
+                existing = list(payload["predicates"])
+            merged = fresh + [o for o in existing if o not in fresh]
+            merged = merged[:MAX_SHAPE_PREDICATES]
+            body = {
+                "format": CACHE_FORMAT,
+                "shape": shape,
+                "predicates": merged,
+            }
+            body["checksum"] = _payload_checksum(body["predicates"])
+            _atomic_write(
+                path, json.dumps(body, sort_keys=True, indent=1)
+            )
 
     def seed_predicates(
         self, shape: str, options_fp: str = ""

@@ -72,6 +72,9 @@ def run_batch(
     events: EventLog | str | None = None,
     prefilter: bool = True,
     warm_start: bool = True,
+    shards: int | None = None,
+    shard_id: int | None = None,
+    shard_workers: int | None = None,
     _test_kill_first_attempt: bool = False,
     **circ_options,
 ) -> BatchReport:
@@ -81,12 +84,33 @@ def run_batch(
     ``events`` may be an :class:`EventLog` or a path for JSONL output.
     Keyword options are forwarded to :func:`repro.circ.circ` and are
     part of the cache key.
+
+    The sharding knobs (see :mod:`repro.shard`):
+
+    * ``shards`` + ``shard_id`` -- *dry-run* mode: plan everything, but
+      run only the jobs whose digest falls in bucket ``shard_id`` of a
+      ``shards``-way partition.  Static discharges are reported by every
+      shard (planning is cheap; the merge dedups them).  The report's
+      rows cover only this shard's queries; merge the N shard payloads
+      with ``repro-race merge-reports``.
+    * ``shard_workers`` -- *coordinated* mode: run the full worklist
+      through the work-stealing worker fleet instead of the process
+      pool, partitioned into ``shards`` buckets (default: two per
+      worker, so stealing has granularity to work with).
     """
     start = time.perf_counter()
     if isinstance(events, str):
         events = EventLog(events)
     events = events or EventLog()
     cache = ArtifactCache(cache_dir) if cache_dir is not None else None
+
+    if shard_id is not None and shards is None:
+        raise ValueError("shard_id requires shards")
+    if shard_id is not None and shard_workers is not None:
+        raise ValueError(
+            "shard_id (dry-run mode) and shard_workers (coordinated "
+            "mode) are mutually exclusive"
+        )
 
     events.emit("batch_started", items=len(items))
     if cache is not None:
@@ -96,24 +120,51 @@ def run_batch(
     the_plan = plan(
         items, options=circ_options, events=events, prefilter=prefilter
     )
-    results = execute(
-        the_plan.jobs,
-        cache=cache,
-        events=events,
-        workers=workers,
-        warm_start=warm_start,
-        _test_kill_first_attempt=_test_kill_first_attempt,
-    )
+
+    jobs = the_plan.jobs
+    if shard_id is not None:
+        from ..shard.partition import filter_shard
+
+        jobs, foreign = filter_shard(jobs, shards, shard_id)
+        events.emit(
+            "shard_filtered",
+            shards=shards,
+            shard_id=shard_id,
+            owned=len(jobs),
+            foreign=len(foreign),
+        )
+    if shard_workers is not None:
+        from ..shard.coordinator import execute_sharded
+
+        n_workers = max(1, int(shard_workers))
+        results = execute_sharded(
+            jobs,
+            shards=shards if shards is not None else 2 * n_workers,
+            workers=n_workers,
+            cache=cache,
+            events=events,
+            warm_start=warm_start,
+            _test_kill_first_attempt=_test_kill_first_attempt,
+        )
+    else:
+        results = execute(
+            jobs,
+            cache=cache,
+            events=events,
+            workers=workers,
+            warm_start=warm_start,
+            _test_kill_first_attempt=_test_kill_first_attempt,
+        )
 
     by_query = {(r.model, r.variable): r for r in the_plan.done}
     by_query.update(results)
-    rows = [by_query[key] for key in the_plan.order]
+    rows = [by_query[key] for key in the_plan.order if key in by_query]
 
-    n_deduped = sum(len(j.aliases) - 1 for j in the_plan.jobs)
+    n_deduped = sum(len(j.aliases) - 1 for j in jobs)
     report = BatchReport(
         rows=rows,
         wall_ms=(time.perf_counter() - start) * 1000.0,
-        n_jobs=len(the_plan.jobs),
+        n_jobs=len(jobs),
         n_static=len(the_plan.done),
         n_deduped=n_deduped,
         cache_stats=cache.stats() if cache is not None else {},

@@ -31,16 +31,12 @@ import threading
 from pathlib import Path
 
 from ..cfa.cfa import CFA
+from ..util.locks import atomic_write_text, file_lock
 
 __all__ = ["WinRateBook", "shape_class", "DEFAULT_ORDER"]
 
 #: Static cost order: cheapest analysis first until the book learns better.
 DEFAULT_ORDER = ("racer", "absint", "circ")
-
-try:  # advisory file locking is POSIX-only; degrade gracefully elsewhere
-    import fcntl
-except ImportError:  # pragma: no cover - non-POSIX platform
-    fcntl = None
 
 
 def shape_class(cfa: CFA, variable: str) -> str:
@@ -150,30 +146,27 @@ class WinRateBook:
         with self._mutex:
             pending = self._pending
             self._pending = {}
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        lock_fh = None
         try:
-            if fcntl is not None:
-                lock_fh = open(self.path.with_suffix(".lock"), "a")
-                fcntl.flock(lock_fh.fileno(), fcntl.LOCK_EX)
-            merged = (
-                self._read_counts(self.path) if self.path.exists() else {}
-            )
-            for shape, analyses in pending.items():
-                for analysis, delta in analyses.items():
-                    cell = self._cell(merged, shape, analysis)
-                    cell["runs"] += delta["runs"]
-                    cell["wins"] += delta["wins"]
-                    cell["total_ms"] += delta["total_ms"]
-            with self._mutex:
-                self.counts = merged
-            tmp = self.path.with_suffix(".tmp")
-            tmp.write_text(
-                json.dumps(
-                    {"shapes": merged}, indent=1, sort_keys=True
+            with file_lock(self.path.with_suffix(".lock")):
+                merged = (
+                    self._read_counts(self.path)
+                    if self.path.exists()
+                    else {}
                 )
-            )
-            os.replace(tmp, self.path)
+                for shape, analyses in pending.items():
+                    for analysis, delta in analyses.items():
+                        cell = self._cell(merged, shape, analysis)
+                        cell["runs"] += delta["runs"]
+                        cell["wins"] += delta["wins"]
+                        cell["total_ms"] += delta["total_ms"]
+                with self._mutex:
+                    self.counts = merged
+                atomic_write_text(
+                    self.path,
+                    json.dumps(
+                        {"shapes": merged}, indent=1, sort_keys=True
+                    ),
+                )
         except OSError:
             # Persistence is an accelerator; put the deltas back so a
             # later save can still merge them.
@@ -184,9 +177,3 @@ class WinRateBook:
                         cell["runs"] += delta["runs"]
                         cell["wins"] += delta["wins"]
                         cell["total_ms"] += delta["total_ms"]
-        finally:
-            if lock_fh is not None:
-                try:
-                    fcntl.flock(lock_fh.fileno(), fcntl.LOCK_UN)
-                finally:
-                    lock_fh.close()

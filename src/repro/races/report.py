@@ -27,6 +27,7 @@ __all__ = [
     "render_markdown",
     "ReportRow",
     "REPORT_SCHEMA",
+    "PRIMARY_SOURCE_PREFIXES",
     "rows_to_payload",
     "render_rows_table",
     "rows_from_static",
@@ -38,6 +39,20 @@ __all__ = [
 #: Version tag of the machine-readable row schema shared by
 #: ``repro-race static --json`` and ``repro-race batch --json``.
 REPORT_SCHEMA = "repro-race/report-v1"
+
+#: Source prefixes of *primary* rows -- the one verdict per query that
+#: decides exit codes and shard-merge reconciliation.  Portfolio
+#: payloads additionally carry one informational row per attempted
+#: analysis (``racer``, ``absint``, ``lockset``, ...), which never
+#: shadow a decided query.  ``repro.serve.protocol.exit_code_for`` and
+#: ``repro.shard.merge`` both consume this contract.
+PRIMARY_SOURCE_PREFIXES = (
+    "static",
+    "cache",
+    "circ",
+    "budget",
+    "portfolio:",
+)
 
 
 @dataclass(frozen=True)

@@ -46,6 +46,12 @@ Exit-code mapping (identical to the CLI's): 0 verified, 1 race found,
 2 usage/parse error, 3 transient/RETRYABLE (resubmit later), 4 verdict
 UNKNOWN (including solver-quota exhaustion, which yields typed UNKNOWN
 rows rather than an error frame).
+
+The framing layer (:func:`encode_frame` / :func:`decode_frame`) is
+transport-agnostic and is reused verbatim by the sharded engine's
+coordinator<->worker pipes (:mod:`repro.shard`), which speak their own
+op set (``hello``/``job``/``shutdown``) over the same NDJSON lines --
+see docs/SHARDING.md.
 """
 
 from __future__ import annotations
@@ -57,6 +63,7 @@ __all__ = [
     "PROTOCOL",
     "ALLOWED_OPTIONS",
     "MODES",
+    "PRIMARY_SOURCE_PREFIXES",
     "ErrorCode",
     "ProtocolError",
     "encode_frame",
@@ -95,6 +102,17 @@ EXIT_RACE = 1
 EXIT_USAGE = 2
 EXIT_RETRYABLE = 3
 EXIT_UNKNOWN = 4
+
+#: Primary-row source prefixes, mirroring
+#: :data:`repro.races.report.PRIMARY_SOURCE_PREFIXES` (kept literal so
+#: this module stays import-light; ``tests/serve`` asserts they agree).
+PRIMARY_SOURCE_PREFIXES = (
+    "static",
+    "cache",
+    "circ",
+    "budget",
+    "portfolio:",
+)
 
 
 class ErrorCode:
@@ -181,7 +199,7 @@ def exit_code_for(rows: list[dict[str, Any]]) -> int:
     primary = [
         r
         for r in rows
-        if r.get("source", "").startswith(("static", "cache", "circ", "budget", "portfolio:"))
+        if r.get("source", "").startswith(PRIMARY_SOURCE_PREFIXES)
     ]
     races = sum(1 for r in primary if r.get("verdict") == "race")
     unknown = sum(1 for r in primary if r.get("verdict") == "unknown")

@@ -1,0 +1,374 @@
+"""The sharded coordinator: digest buckets, work-stealing, crash retry.
+
+``execute_sharded`` is a drop-in alternative to the scheduler's
+process-pool ``execute``: same inputs (the planner's deduplicated
+worklist), same output (a :class:`~repro.engine.planner.JobResult` per
+(model, variable) query), same artifact-cache discipline.  What changes
+is the execution topology:
+
+1. jobs are partitioned by slice digest into ``shards`` buckets
+   (:mod:`repro.shard.partition`), each bucket *homed* to worker
+   ``bucket % workers``;
+2. workers are real OS processes (``python -m repro.shard.worker``)
+   driven over NDJSON pipes with the serve daemon's framing -- the same
+   frames would travel a TCP socket to a remote machine unchanged;
+3. a worker whose home buckets drain **steals** from the tail of the
+   most-loaded foreign bucket, so one straggler bucket cannot idle the
+   rest of the fleet (``shard_steal`` telemetry records every theft);
+4. a crashed worker's in-flight job **re-enters its bucket as if
+   fresh** -- artifact writes are atomic, the shape index merges under
+   a lock, and the SMT tier only publishes on clean shutdown, so a
+   retry can never observe (or leave) a half-written artifact.  Jobs
+   that exhaust their retry budget, and jobs left over when every
+   worker is gone, fall back to in-process serial execution: like the
+   scheduler, a sharded run always completes with a full verdict table.
+
+Warm starts flow through the content-addressed layer, not through
+process memory: the coordinator publishes each finished job's artifact
+and shape predicates immediately, and computes warm-start seeds *at
+dispatch time* (the pool scheduler seeds before any job has run), so a
+job dispatched late warm-starts from predicates a different worker
+discovered minutes earlier.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import threading
+from typing import Sequence
+
+from ..engine.cache import ArtifactCache
+from ..engine.events import EventLog
+from ..engine.planner import Job, JobResult, _verdict_of, options_fingerprint
+from ..engine.scheduler import (
+    _fan_out,
+    _finish,
+    _job_payload,
+    _run_job_payload,
+)
+from ..engine.artifacts import result_to_obj
+from ..serve.protocol import decode_frame, encode_frame
+from .partition import bucket_of
+
+__all__ = ["execute_sharded"]
+
+#: A job crashing this many workers is run serially by the coordinator.
+MAX_JOB_RETRIES = 2
+
+#: Worker slots are respawned after a crash at most this many times.
+MAX_RESPAWNS = 3
+
+
+class _Buckets:
+    """The shared worklist: per-bucket deques with stealing.
+
+    All mutation happens under one lock.  ``take(worker)`` prefers the
+    worker's home buckets (front-of-queue, preserving planner order)
+    and otherwise steals from the *tail* of the most-loaded foreign
+    bucket -- the classic deque discipline: owners and thieves touch
+    opposite ends, and the straggler keeps its earliest (likely
+    in-progress-adjacent) work local.
+    """
+
+    def __init__(self, jobs: Sequence[Job], shards: int, workers: int):
+        self.shards = shards
+        self.workers = workers
+        self.lock = threading.Lock()
+        self.queues: list[list[Job]] = [[] for _ in range(shards)]
+        for job in jobs:
+            self.queues[bucket_of(job.digest, shards)].append(job)
+        self.steals = 0
+
+    def home_buckets(self, worker: int) -> list[int]:
+        return [b for b in range(self.shards) if b % self.workers == worker]
+
+    def take(self, worker: int) -> tuple[Job, int, bool] | None:
+        """Next job for ``worker`` as (job, bucket, stolen); None when
+        every bucket is empty."""
+        with self.lock:
+            for b in self.home_buckets(worker):
+                if self.queues[b]:
+                    return self.queues[b].pop(0), b, False
+            victim = max(
+                (b for b in range(self.shards) if self.queues[b]),
+                key=lambda b: len(self.queues[b]),
+                default=None,
+            )
+            if victim is None:
+                return None
+            self.steals += 1
+            return self.queues[victim].pop(), victim, True
+
+    def requeue(self, job: Job, bucket: int) -> None:
+        """Re-enter a crashed worker's job at the front of its bucket."""
+        with self.lock:
+            self.queues[bucket].insert(0, job)
+
+    def drain(self) -> list[Job]:
+        with self.lock:
+            leftover = [job for q in self.queues for job in q]
+            for q in self.queues:
+                q.clear()
+            return leftover
+
+
+class _Worker:
+    """One worker subprocess plus its pipe plumbing."""
+
+    def __init__(self, worker_id: int, cache_root: str | None, warm_start: bool):
+        self.id = worker_id
+        self.cache_root = cache_root
+        self.warm_start = warm_start
+        self.proc: subprocess.Popen | None = None
+        self.spawns = 0
+
+    def spawn(self) -> None:
+        self.spawns += 1
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.shard.worker"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        self.send(
+            {
+                "op": "hello",
+                "worker": self.id,
+                "cache_root": self.cache_root,
+                "warm_start": self.warm_start,
+            }
+        )
+        ready = self.recv()
+        if ready is None or ready.get("frame") != "ready":
+            raise OSError(f"worker {self.id} failed its hello handshake")
+
+    def send(self, frame: dict) -> None:
+        assert self.proc is not None and self.proc.stdin is not None
+        self.proc.stdin.write(encode_frame(frame).decode())
+        self.proc.stdin.flush()
+
+    def recv(self) -> dict | None:
+        """Next frame from the worker; None on EOF (worker died)."""
+        assert self.proc is not None and self.proc.stdout is not None
+        for line in self.proc.stdout:
+            line = line.strip()
+            if line:
+                return decode_frame(line)
+        return None
+
+    def shutdown(self) -> None:
+        if self.proc is None or self.proc.poll() is not None:
+            return
+        try:
+            self.send({"op": "shutdown"})
+            while True:
+                frame = self.recv()
+                if frame is None or frame.get("frame") == "bye":
+                    break
+        except (OSError, ValueError):
+            pass
+        finally:
+            try:
+                self.proc.stdin.close()
+            except OSError:
+                pass
+            self.proc.wait()
+
+
+def execute_sharded(
+    jobs: Sequence[Job],
+    shards: int,
+    workers: int,
+    cache: ArtifactCache | None = None,
+    events: EventLog | None = None,
+    warm_start: bool = True,
+    _test_kill_first_attempt: bool = False,
+) -> dict[tuple[str, str], JobResult]:
+    """Run a worklist through the sharded worker fleet.
+
+    Mirrors :func:`repro.engine.scheduler.execute`'s contract exactly;
+    see the module docstring for the topology.
+    """
+    events = events or EventLog()
+    results: dict[tuple[str, str], JobResult] = {}
+    results_lock = threading.Lock()
+
+    # Cache hits answer immediately, exactly like the scheduler.
+    pending: list[Job] = []
+    for job in jobs:
+        fp = options_fingerprint(job.options)
+        entry = cache.get(job.digest, fp) if cache is not None else None
+        if entry is not None:
+            events.emit(
+                "cache_hit",
+                job_id=job.job_id,
+                digest=job.digest[:12],
+                verdict=_verdict_of(entry.result),
+            )
+            _fan_out(
+                job,
+                {"result": result_to_obj(entry.result), "elapsed_ms": 0.0},
+                "cache",
+                results,
+            )
+            continue
+        events.emit("cache_miss", job_id=job.job_id, digest=job.digest[:12])
+        pending.append(job)
+
+    if not pending:
+        return results
+
+    workers = max(1, min(workers, len(pending)))
+    buckets = _Buckets(pending, shards, workers)
+    events.emit(
+        "shard_planned",
+        shards=shards,
+        workers=workers,
+        jobs=len(pending),
+        buckets=[len(q) for q in buckets.queues],
+    )
+
+    retries: dict[int, int] = {}
+    killed: set[int] = set()
+    exhausted: list[Job] = []
+    cache_root = str(cache.root) if cache is not None else None
+
+    def build_payload(job: Job) -> dict:
+        # Seeds are computed at dispatch time so this job warm-starts
+        # from predicates published by jobs that finished *during* this
+        # run -- on any worker, through the shared shape index.
+        seeds: tuple = ()
+        if cache is not None and warm_start:
+            fp = options_fingerprint(job.options)
+            seeds = cache.seed_predicates(job.shape, fp)
+            if seeds:
+                events.emit(
+                    "warm_start",
+                    job_id=job.job_id,
+                    n_predicates=len(seeds),
+                )
+        kill = (
+            _test_kill_first_attempt and job.job_id not in killed
+        )
+        if kill:
+            killed.add(job.job_id)
+        return _job_payload(job, seeds, kill, cache_root=cache_root)
+
+    def run_worker(slot: _Worker) -> None:
+        while True:
+            item = buckets.take(slot.id)
+            if item is None:
+                return
+            job, bucket, stolen = item
+            if stolen:
+                events.emit(
+                    "shard_steal",
+                    shard=bucket,
+                    job_id=job.job_id,
+                    thief=slot.id,
+                    victim=bucket % workers,
+                )
+            if slot.proc is None or slot.proc.poll() is not None:
+                if slot.spawns > MAX_RESPAWNS:
+                    buckets.requeue(job, bucket)
+                    return
+                try:
+                    slot.spawn()
+                    events.emit(
+                        "worker_spawned", worker=slot.id, spawns=slot.spawns
+                    )
+                except OSError as exc:
+                    events.emit(
+                        "worker_failed", worker=slot.id, reason=str(exc)
+                    )
+                    buckets.requeue(job, bucket)
+                    return
+            events.emit(
+                "job_started",
+                job_id=job.job_id,
+                mode="shard",
+                shard=bucket,
+                worker=slot.id,
+            )
+            try:
+                slot.send({"op": "job", "payload": build_payload(job)})
+                frame = slot.recv()
+            except (OSError, ValueError):
+                frame = None
+            if frame is None or frame.get("frame") != "result":
+                # The worker died mid-job (or spoke garbage, which we
+                # treat identically).  The job re-enters its bucket as
+                # if fresh; nothing half-written is visible because
+                # every store publishes atomically.  The corpse must be
+                # reaped here: until wait() collects it, poll() can
+                # still report the worker alive and the retry would be
+                # written into a dead pipe.
+                try:
+                    slot.proc.kill()
+                    slot.proc.wait()
+                except OSError:
+                    pass
+                retries[job.job_id] = retries.get(job.job_id, 0) + 1
+                events.emit(
+                    "worker_crashed",
+                    worker=slot.id,
+                    job_id=job.job_id,
+                    shard=bucket,
+                )
+                if retries[job.job_id] <= MAX_JOB_RETRIES:
+                    events.emit(
+                        "job_retry",
+                        job_id=job.job_id,
+                        shard=bucket,
+                        attempt=retries[job.job_id] + 1,
+                    )
+                    buckets.requeue(job, bucket)
+                else:
+                    # Out of worker attempts: park the job for the
+                    # in-process serial pass (it is in no bucket, so
+                    # drain() alone would lose it).
+                    with results_lock:
+                        exhausted.append(job)
+                continue
+            with results_lock:
+                _finish(job, frame["record"], events, cache, results)
+
+    slots = [
+        _Worker(i, cache_root, warm_start) for i in range(workers)
+    ]
+    threads = [
+        threading.Thread(
+            target=run_worker, args=(slot,), name=f"shard-worker-{slot.id}"
+        )
+        for slot in slots
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for slot in slots:
+        slot.shutdown()
+
+    # Serial pass: jobs that exhausted retries or outlived every worker
+    # slot.  In-process execution cannot lose a job.
+    done_ids = {
+        r.digest for r in results.values()
+    }  # digests answered so far
+    for job in buckets.drain() + exhausted:
+        if job.digest in done_ids:
+            continue
+        payload = _job_payload(job, (), False, cache_root=cache_root)
+        events.emit("job_started", job_id=job.job_id, mode="serial")
+        record = _run_job_payload(payload)
+        _finish(job, record, events, cache, results)
+
+    events.emit(
+        "shard_summary",
+        shards=shards,
+        workers=workers,
+        steals=buckets.steals,
+        retries=sum(retries.values()),
+        respawns=sum(max(0, s.spawns - 1) for s in slots),
+    )
+    return results

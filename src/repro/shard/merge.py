@@ -1,0 +1,165 @@
+"""Deterministic merge of per-shard report-v1 payloads.
+
+Each shard run (dry-run invocation or coordinated worker) emits the
+shared report-v1 payload over the queries it answered.  The merge folds
+any number of those payloads into **one canonical report** such that
+
+* the union of an N-shard partition is byte-identical to the canonical
+  form of the unsharded report (golden-tested for N in {2, 4});
+* duplicate rows -- static discharges replicated into every shard, or a
+  job that ran twice because a steal and a retry overlapped -- collapse
+  to a single row;
+* a *confident disagreement* (one shard says ``safe``, another says
+  ``race`` for the same query) raises :class:`ShardConflict`, a hard
+  error mirroring the portfolio's ``PortfolioConflict``: two sound
+  analyses of the same digest cannot disagree, so a conflict is
+  evidence of corruption or an unsoundness bug and must never be
+  silently reconciled;
+* an ``unknown`` row is superseded by a confident row for the same
+  query from another shard (a retried/stolen job may have decided what
+  a budget-exhausted first attempt could not).
+
+Canonicalization deliberately erases *execution accidents* so that the
+merged artifact depends only on verdicts: ``time_ms`` is zeroed and the
+accelerator sources ``cache`` / ``circ-warm`` are folded into ``circ``
+(whether a shard answered from its cache or warm-started is a property
+of the run, not of the program).  The summary is recomputed from the
+merged rows alone.  Rows sort by (model, variable, source, verdict,
+detail), and the payload serializes with sorted keys -- byte-identity
+between two merges is therefore exactly row-set equality.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Sequence
+
+from ..races.report import PRIMARY_SOURCE_PREFIXES, REPORT_SCHEMA
+
+__all__ = ["ShardConflict", "canonical_row", "merge_payloads", "render_merged"]
+
+#: Confident verdicts; two different ones for one query are a conflict.
+_CONFIDENT = ("safe", "race")
+
+
+class ShardConflict(Exception):
+    """Two shards confidently disagree on one query -- a hard error."""
+
+    def __init__(self, model: str, variable: str, verdicts: Sequence[str]):
+        self.model = model
+        self.variable = variable
+        self.verdicts = tuple(sorted(set(verdicts)))
+        super().__init__(
+            f"shards confidently disagree on ({model!r}, {variable!r}): "
+            f"{' vs '.join(self.verdicts)}"
+        )
+
+
+def canonical_row(row: dict[str, Any]) -> dict[str, Any]:
+    """One report-v1 row with execution accidents erased."""
+    source = str(row.get("source", ""))
+    if source in ("cache", "circ-warm"):
+        source = "circ"
+    return {
+        "model": str(row.get("model", "")),
+        "variable": str(row.get("variable", "")),
+        "verdict": str(row.get("verdict", "")),
+        "source": source,
+        "time_ms": 0.0,
+        "detail": str(row.get("detail") or ""),
+    }
+
+
+def _is_primary(source: str) -> bool:
+    return source.startswith(PRIMARY_SOURCE_PREFIXES)
+
+
+def _row_key(row: dict[str, Any]) -> tuple:
+    return (row["model"], row["variable"], row["source"])
+
+
+def merge_payloads(payloads: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Fold report-v1 payloads into one canonical payload.
+
+    Raises :class:`ShardConflict` on a confident disagreement and
+    ``ValueError`` on a payload that does not carry the shared schema.
+    """
+    # (model, variable, source) -> canonical rows seen for that slot.
+    slots: dict[tuple, list[dict]] = {}
+    n_payloads = 0
+    for payload in payloads:
+        n_payloads += 1
+        if payload.get("schema") != REPORT_SCHEMA:
+            raise ValueError(
+                f"payload {n_payloads} does not carry schema "
+                f"{REPORT_SCHEMA!r} (got {payload.get('schema')!r})"
+            )
+        for raw in payload.get("rows", ()):
+            row = canonical_row(raw)
+            slots.setdefault(_row_key(row), []).append(row)
+
+    merged: list[dict] = []
+    by_query: dict[tuple[str, str], list[dict]] = {}
+    for key, rows in slots.items():
+        # Reconcile duplicates within one slot: identical rows collapse,
+        # a confident verdict supersedes unknown, and ties break on the
+        # lexicographically first (verdict, detail) for determinism.
+        confident = [r for r in rows if r["verdict"] in _CONFIDENT]
+        pool = confident or rows
+        pool.sort(key=lambda r: (r["verdict"], r["detail"]))
+        merged.append(pool[0])
+        if _is_primary(key[2]):
+            # Every confident row participates in the conflict check --
+            # a within-slot disagreement (two shards, same source) is
+            # just as impossible as a cross-source one and must not be
+            # masked by the deterministic tie-break above.
+            by_query.setdefault((key[0], key[1]), []).extend(
+                confident or [pool[0]]
+            )
+
+    # Conflict check over primary rows: one query must not end up with
+    # two different confident verdicts, whatever the source(s).
+    for (model, variable), rows in by_query.items():
+        verdicts = {
+            r["verdict"] for r in rows if r["verdict"] in _CONFIDENT
+        }
+        if len(verdicts) > 1:
+            raise ShardConflict(model, variable, sorted(verdicts))
+
+    merged.sort(
+        key=lambda r: (
+            r["model"],
+            r["variable"],
+            r["source"],
+            r["verdict"],
+            r["detail"],
+        )
+    )
+    # Per-query verdicts over primary rows: a decided query is never
+    # dragged back to unknown by a secondary attempt's unknown row.
+    verdict_of: dict[tuple[str, str], str] = {}
+    for query, rows in by_query.items():
+        verdicts = {r["verdict"] for r in rows}
+        if "race" in verdicts:
+            verdict_of[query] = "race"
+        elif "safe" in verdicts:
+            verdict_of[query] = "safe"
+        else:
+            verdict_of[query] = "unknown"
+    # ``reports_merged`` would be natural telemetry here, but the
+    # payload must depend only on verdicts (an N-shard union and the
+    # unsharded report are byte-identical), so the summary carries no
+    # trace of how many reports fed the merge.
+    primary = [r for r in merged if _is_primary(r["source"])]
+    summary = {
+        "queries": len(verdict_of),
+        "races": sum(1 for v in verdict_of.values() if v == "race"),
+        "unknown": sum(1 for v in verdict_of.values() if v == "unknown"),
+        "static": sum(1 for r in primary if r["source"] == "static"),
+    }
+    return {"schema": REPORT_SCHEMA, "rows": merged, "summary": summary}
+
+
+def render_merged(payload: dict[str, Any]) -> str:
+    """The canonical serialization byte-identity is defined over."""
+    return json.dumps(payload, indent=2, sort_keys=True)

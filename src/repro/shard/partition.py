@@ -1,0 +1,62 @@
+"""Digest-driven partitioning of the planner's deduplicated job graph.
+
+A shard is a *bucket of content digests*: job ``j`` belongs to bucket
+``int(j.digest, 16) % shards``.  Because the digest is a pure function
+of the verified slice (see :mod:`repro.engine.digest`), the partition is
+
+* **deterministic** -- every coordinator, dry-run invocation, and
+  retried worker computes the same assignment with no shared state;
+* **location-independent** -- two machines given the same corpus and
+  shard count agree on ownership without talking to each other, which
+  is what makes the no-network dry-run mode (``--shards N --shard-id
+  i`` per invocation, reports merged afterwards) equivalent to the
+  coordinated run;
+* **stable under workload edits** -- adding a program only moves the
+  jobs whose digests it adds, never reshuffles existing ownership
+  within the same shard count.
+
+Static discharges are *not* partitioned: planning (lower + classify) is
+cheap and runs in every shard, so each shard's report carries the full
+set of static rows and the merge deduplicates them.  Only the expensive
+CIRC/portfolio jobs are split.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..engine.planner import Job
+
+__all__ = ["bucket_of", "partition_jobs", "filter_shard"]
+
+
+def bucket_of(digest: str, shards: int) -> int:
+    """The bucket owning a slice digest, for a given shard count."""
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    return int(digest, 16) % shards
+
+
+def partition_jobs(
+    jobs: Sequence[Job], shards: int
+) -> list[list[Job]]:
+    """Split a deduplicated worklist into ``shards`` digest buckets."""
+    buckets: list[list[Job]] = [[] for _ in range(shards)]
+    for job in jobs:
+        buckets[bucket_of(job.digest, shards)].append(job)
+    return buckets
+
+
+def filter_shard(
+    jobs: Sequence[Job], shards: int, shard_id: int
+) -> tuple[list[Job], list[Job]]:
+    """Split a worklist into (owned, foreign) jobs for one shard."""
+    if not 0 <= shard_id < shards:
+        raise ValueError(
+            f"shard_id must be in [0, {shards}), got {shard_id}"
+        )
+    owned: list[Job] = []
+    foreign: list[Job] = []
+    for job in jobs:
+        (owned if bucket_of(job.digest, shards) == shard_id else foreign).append(job)
+    return owned, foreign

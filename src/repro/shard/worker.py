@@ -1,0 +1,115 @@
+"""The shard worker process: one NDJSON loop around the job runner.
+
+The coordinator spawns ``python -m repro.shard.worker`` with a pipe per
+direction and speaks the serve daemon's framing
+(:func:`repro.serve.protocol.encode_frame` / ``decode_frame``) with a
+three-op vocabulary:
+
+``{"op": "hello", "worker": N, "cache_root": PATH?, "warm_start": B}``
+    Session setup.  With a cache root, the worker warm-starts its SMT
+    query cache from the shared persistent tier, so every worker in the
+    fleet begins with the fleet's accumulated verdicts.  Replies
+    ``{"frame": "ready", "worker": N, "warm_entries": K}``.
+
+``{"op": "job", "payload": {...}}``
+    One verification job, exactly the scheduler's JSON-ready payload
+    (:func:`repro.engine.scheduler._job_payload`).  The worker runs it
+    through the same ``_run_job_payload`` the pool and serial paths use
+    -- verdicts cannot differ by transport -- and replies
+    ``{"frame": "result", "job_id": I, "record": {...}}``.
+
+``{"op": "shutdown"}``
+    Drain: the worker merges its SMT verdicts into the shared warm tier
+    (a locked read-merge-write, so concurrent workers accumulate) and
+    replies ``{"frame": "bye", "tier_entries": K}`` before exiting.
+
+Crash injection for the retry tests rides in the payload: a
+``_test_kill_worker`` flag makes the worker die with ``os._exit(137)``
+*before* touching the job, simulating an OOM-killed worker whose job
+must re-enter the queue as if fresh.
+
+Real stdout is reserved for frames; ``sys.stdout`` is rebound to stderr
+so a stray ``print`` anywhere in the verifier can never corrupt the
+framing.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from ..serve.protocol import decode_frame, encode_frame
+
+__all__ = ["main"]
+
+
+def _send(out, frame: dict) -> None:
+    out.write(encode_frame(frame).decode())
+    out.flush()
+
+
+def main() -> int:
+    out = sys.stdout
+    sys.stdout = sys.stderr  # stray prints must not corrupt framing
+
+    from ..engine.cache import ArtifactCache
+    from ..engine.scheduler import _run_job_payload
+    from ..smt.qcache import SAT_CACHE
+
+    cache_root: str | None = None
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            frame = decode_frame(line)
+        except ValueError as exc:
+            _send(out, {"frame": "error", "message": str(exc)})
+            continue
+        op = frame.get("op")
+        if op == "hello":
+            cache_root = frame.get("cache_root")
+            warm = 0
+            if cache_root:
+                warm = SAT_CACHE.load(
+                    ArtifactCache(cache_root).smt_tier_path()
+                )
+            _send(
+                out,
+                {
+                    "frame": "ready",
+                    "worker": frame.get("worker"),
+                    "warm_entries": warm,
+                },
+            )
+        elif op == "job":
+            payload = dict(frame["payload"])
+            if payload.pop("_test_kill_worker", False):
+                os._exit(137)  # simulate a crashed/OOM-killed worker
+            record = _run_job_payload(payload)
+            _send(
+                out,
+                {
+                    "frame": "result",
+                    "job_id": payload["job_id"],
+                    "record": record,
+                },
+            )
+        elif op == "shutdown":
+            saved = 0
+            if cache_root:
+                saved = SAT_CACHE.save(
+                    ArtifactCache(cache_root).smt_tier_path()
+                )
+            _send(out, {"frame": "bye", "tier_entries": saved})
+            return 0
+        else:
+            _send(
+                out,
+                {"frame": "error", "message": f"unknown op {op!r}"},
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -380,27 +380,55 @@ class QueryCache:
 
     # -- persistence ---------------------------------------------------------
 
-    def save(self, path: str | os.PathLike) -> int:
-        """Spill the primary tier (plus unpromoted warm entries) to JSON.
+    @staticmethod
+    def _read_entries(path: Path) -> dict[str, bool]:
+        """The valid digest -> verdict entries persisted at ``path``
+        (empty on any failure mode: missing, undecodable, wrong format)."""
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return {}
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != QCACHE_FORMAT
+            or not isinstance(payload.get("entries"), dict)
+        ):
+            return {}
+        return {
+            digest: verdict
+            for digest, verdict in payload["entries"].items()
+            if isinstance(digest, str) and isinstance(verdict, bool)
+        }
 
-        Returns the number of entries written.  Writing is atomic-enough
-        for the artifact-cache contract (temp file + replace), and a
-        failed write never raises past a warning return of 0.
+    def save(self, path: str | os.PathLike) -> int:
+        """Merge this process's tier into the persisted file.
+
+        The original spill was a blind overwrite -- last writer wins, so
+        two shard workers flushing concurrently silently dropped each
+        other's verdicts.  Like :class:`~repro.portfolio.winrate
+        .WinRateBook`, the save is now a *read-merge-write* under an
+        advisory ``flock``: re-read whatever other writers persisted
+        meanwhile, fold our entries on top (verdicts are deterministic,
+        so a key collision is always an agreement), and publish
+        atomically.  Returns the number of entries in the merged file;
+        a failed write never raises past a return of 0.
         """
+        from ..util.locks import atomic_write_text, file_lock
+
         with self._lock:
             entries = dict(self._warm)
             for key, verdict in self._lru.items():
                 entries[key_digest(key)] = bool(verdict)
-        body = {"format": QCACHE_FORMAT, "entries": entries}
         path = Path(path)
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(".tmp")
-            tmp.write_text(json.dumps(body, sort_keys=True))
-            os.replace(tmp, path)
+            with file_lock(path.with_suffix(".lock")):
+                merged = self._read_entries(path)
+                merged.update(entries)
+                body = {"format": QCACHE_FORMAT, "entries": merged}
+                atomic_write_text(path, json.dumps(body, sort_keys=True))
         except OSError:
             return 0
-        return len(entries)
+        return len(merged)
 
     def load(self, path: str | os.PathLike) -> int:
         """Warm-start from a previous :meth:`save`; returns entries loaded.
@@ -409,23 +437,10 @@ class QueryCache:
         silent no-op: the warm tier is an accelerator, never a
         correctness dependency.
         """
-        try:
-            payload = json.loads(Path(path).read_text())
-        except (OSError, ValueError):
-            return 0
-        if (
-            not isinstance(payload, dict)
-            or payload.get("format") != QCACHE_FORMAT
-            or not isinstance(payload.get("entries"), dict)
-        ):
-            return 0
-        loaded = 0
+        entries = self._read_entries(Path(path))
         with self._lock:
-            for digest, verdict in payload["entries"].items():
-                if isinstance(digest, str) and isinstance(verdict, bool):
-                    self._warm[digest] = verdict
-                    loaded += 1
-        return loaded
+            self._warm.update(entries)
+        return len(entries)
 
 
 #: The process-wide verdict cache every solver entry point shares.

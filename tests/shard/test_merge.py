@@ -1,0 +1,210 @@
+"""Shard-report merging: golden byte-identity, dedup, conflicts."""
+
+import json
+
+import pytest
+
+from repro.engine import run_batch
+from repro.races.report import REPORT_SCHEMA, rows_from_batch, rows_to_payload
+from repro.shard.merge import (
+    ShardConflict,
+    canonical_row,
+    merge_payloads,
+    render_merged,
+)
+from tests.engine.test_engine import ITEMS
+
+
+def payload_of(report):
+    return rows_to_payload(rows_from_batch(report))
+
+
+def row(model="m", variable="x", verdict="safe", source="circ", detail=""):
+    return {
+        "model": model,
+        "variable": variable,
+        "verdict": verdict,
+        "source": source,
+        "time_ms": 12.5,
+        "detail": detail,
+    }
+
+
+def wrap(*rows):
+    return {"schema": REPORT_SCHEMA, "rows": list(rows)}
+
+
+# -- canonicalization ---------------------------------------------------------
+
+
+def test_canonical_row_erases_execution_accidents():
+    assert canonical_row(row(source="cache"))["source"] == "circ"
+    assert canonical_row(row(source="circ-warm"))["source"] == "circ"
+    assert canonical_row(row())["time_ms"] == 0.0
+    # Verdict-bearing fields survive untouched.
+    c = canonical_row(row(verdict="race", detail="witness"))
+    assert c["verdict"] == "race" and c["detail"] == "witness"
+
+
+def test_merge_rejects_foreign_schema():
+    with pytest.raises(ValueError, match="schema"):
+        merge_payloads([{"schema": "something-else", "rows": []}])
+
+
+# -- golden: shard unions reproduce the unsharded report ----------------------
+
+
+@pytest.fixture(scope="module")
+def full_payload():
+    return payload_of(run_batch(ITEMS, cache_dir=None, workers=1))
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_dry_run_union_is_byte_identical(shards, full_payload):
+    """N dry-run invocations merge byte-identically to the unsharded
+    report passed through the same identity-merge."""
+    parts = [
+        payload_of(
+            run_batch(
+                ITEMS,
+                cache_dir=None,
+                workers=1,
+                shards=shards,
+                shard_id=i,
+            )
+        )
+        for i in range(shards)
+    ]
+    assert render_merged(merge_payloads(parts)) == render_merged(
+        merge_payloads([full_payload])
+    )
+
+
+def test_overlapping_shards_dedup(full_payload):
+    """A job that ran in several shards (post-steal duplicate, or the
+    static rows every shard replicates) collapses to one row: merging
+    the full payload with itself is the identity."""
+    once = render_merged(merge_payloads([full_payload]))
+    thrice = render_merged(
+        merge_payloads([full_payload, full_payload, full_payload])
+    )
+    assert once == thrice
+
+
+def test_merged_payload_is_stable_json(full_payload):
+    """The canonical serialization round-trips and is sorted."""
+    text = render_merged(merge_payloads([full_payload]))
+    back = json.loads(text)
+    assert back["schema"] == REPORT_SCHEMA
+    keys = [
+        (r["model"], r["variable"], r["source"], r["verdict"], r["detail"])
+        for r in back["rows"]
+    ]
+    assert keys == sorted(keys)
+
+
+# -- reconciliation semantics -------------------------------------------------
+
+
+def test_confident_row_supersedes_unknown():
+    merged = merge_payloads(
+        [
+            wrap(row(verdict="unknown", detail="budget exhausted")),
+            wrap(row(verdict="safe")),
+        ]
+    )
+    (r,) = merged["rows"]
+    assert r["verdict"] == "safe"
+    assert merged["summary"]["unknown"] == 0
+
+
+def test_secondary_unknown_never_shadows_decided_query():
+    """A portfolio side-row (non-primary source) reporting unknown must
+    not drag a decided query's summary back to unknown."""
+    merged = merge_payloads(
+        [
+            wrap(
+                row(verdict="safe", source="portfolio:racer"),
+                row(verdict="unknown", source="absint", detail="cancelled"),
+            )
+        ]
+    )
+    assert merged["summary"] == {
+        "queries": 1,
+        "races": 0,
+        "unknown": 0,
+        "static": 0,
+    }
+
+
+def test_confident_disagreement_is_a_hard_error():
+    with pytest.raises(ShardConflict, match="disagree"):
+        merge_payloads(
+            [wrap(row(verdict="safe")), wrap(row(verdict="race"))]
+        )
+
+
+def test_conflict_detected_across_sources_too():
+    """safe-from-static vs race-from-circ is just as impossible."""
+    with pytest.raises(ShardConflict):
+        merge_payloads(
+            [
+                wrap(row(verdict="safe", source="static")),
+                wrap(row(verdict="race", source="circ")),
+            ]
+        )
+
+
+def test_summary_counts_per_query():
+    merged = merge_payloads(
+        [
+            wrap(
+                row(model="a", verdict="race"),
+                row(model="b", verdict="safe", source="static"),
+                row(model="c", verdict="unknown"),
+            )
+        ]
+    )
+    assert merged["summary"] == {
+        "queries": 3,
+        "races": 1,
+        "unknown": 1,
+        "static": 1,
+    }
+
+
+# -- the merge-reports CLI ----------------------------------------------------
+
+
+def test_merge_reports_cli_round_trip(tmp_path, capsys, full_payload):
+    from repro.cli import main
+
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    a.write_text(json.dumps(full_payload))
+    b.write_text(json.dumps(full_payload))
+    # ITEMS contains one racy model, so exit parity says 1.
+    assert main(["merge-reports", str(a), str(b)]) == 1
+    out = capsys.readouterr().out
+    assert json.loads(out)["schema"] == REPORT_SCHEMA
+    assert out.strip() == render_merged(merge_payloads([full_payload]))
+
+
+def test_merge_reports_cli_conflict_exits_2(tmp_path):
+    from repro.cli import main
+
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    a.write_text(json.dumps(wrap(row(verdict="safe"))))
+    b.write_text(json.dumps(wrap(row(verdict="race"))))
+    assert main(["merge-reports", str(a), str(b)]) == 2
+
+
+def test_merge_reports_cli_writes_out_file(tmp_path):
+    from repro.cli import main
+
+    a = tmp_path / "a.json"
+    out = tmp_path / "merged.json"
+    a.write_text(json.dumps(wrap(row(verdict="safe"))))
+    assert main(["merge-reports", str(a), "-o", str(out)]) == 0
+    assert json.loads(out.read_text())["summary"]["races"] == 0

@@ -1,0 +1,88 @@
+"""Digest partitioning: determinism, coverage, range checks."""
+
+import hashlib
+
+import pytest
+
+from repro.engine.planner import Job
+from repro.shard.partition import bucket_of, filter_shard, partition_jobs
+
+
+def make_jobs(n):
+    jobs = []
+    for i in range(n):
+        digest = hashlib.sha256(f"slice-{i}".encode()).hexdigest()
+        jobs.append(
+            Job(
+                job_id=i,
+                source="",
+                thread=None,
+                variable="x",
+                digest=digest,
+                shape=f"s{i}",
+                options={},
+            )
+        )
+    return jobs
+
+
+def test_bucket_of_deterministic_and_in_range():
+    digest = hashlib.sha256(b"anything").hexdigest()
+    for shards in (1, 2, 4, 7):
+        b = bucket_of(digest, shards)
+        assert b == bucket_of(digest, shards)  # pure function
+        assert 0 <= b < shards
+
+
+def test_bucket_of_rejects_bad_shard_count():
+    with pytest.raises(ValueError, match="shards"):
+        bucket_of("ff", 0)
+
+
+def test_partition_covers_every_job_exactly_once():
+    jobs = make_jobs(40)
+    for shards in (1, 2, 4, 9):
+        buckets = partition_jobs(jobs, shards)
+        assert len(buckets) == shards
+        flat = [j for b in buckets for j in b]
+        assert sorted(j.job_id for j in flat) == list(range(40))
+        # Every job sits in the bucket its digest names.
+        for b, bucket in enumerate(buckets):
+            assert all(bucket_of(j.digest, shards) == b for j in bucket)
+
+
+def test_partition_spreads_over_buckets():
+    """SHA-256 digests mod N should not degenerate to one bucket."""
+    buckets = partition_jobs(make_jobs(64), 4)
+    assert sum(1 for b in buckets if b) >= 3
+
+
+def test_filter_shard_is_consistent_with_partition():
+    jobs = make_jobs(25)
+    shards = 4
+    buckets = partition_jobs(jobs, shards)
+    for i in range(shards):
+        owned, foreign = filter_shard(jobs, shards, i)
+        assert owned == buckets[i]
+        assert len(owned) + len(foreign) == len(jobs)
+        assert not set(j.job_id for j in owned) & set(
+            j.job_id for j in foreign
+        )
+
+
+def test_filter_shard_union_is_a_partition():
+    """The N dry-run invocations together own every job exactly once."""
+    jobs = make_jobs(33)
+    seen = []
+    for i in range(5):
+        owned, _ = filter_shard(jobs, 5, i)
+        seen.extend(j.job_id for j in owned)
+    assert sorted(seen) == list(range(33))
+
+
+def test_filter_shard_validates_shard_id():
+    jobs = make_jobs(3)
+    with pytest.raises(ValueError, match="shard_id"):
+        filter_shard(jobs, 2, 2)
+    with pytest.raises(ValueError, match="shard_id"):
+        filter_shard(jobs, 2, -1)

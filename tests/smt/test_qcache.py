@@ -225,3 +225,65 @@ def test_autosave_disable_and_forced_flush(tmp_path):
     qc.set_autosave(None)
     qc.store("k2", True)
     assert qc.flush() == 0  # disabled: no path, nothing written
+
+
+# -- multi-writer warm tier (the sharded engine's workers) --------------------
+
+
+def test_save_merges_instead_of_overwriting(tmp_path):
+    """Two caches with disjoint entries saving to one path accumulate:
+    the second save must re-read and fold, not blindly overwrite (the
+    original last-writer-wins spill lost the first worker's verdicts)."""
+    path = tmp_path / "qcache.json"
+    a, b = QueryCache(maxsize=8), QueryCache(maxsize=8)
+    a.store("only-in-a", True)
+    b.store("only-in-b", False)
+    assert a.save(path) == 1
+    assert b.save(path) == 2  # merged size, not b's own size
+
+    warm = QueryCache(maxsize=8)
+    assert warm.load(path) == 2
+    assert warm.lookup("only-in-a") is True
+    assert warm.lookup("only-in-b") is False
+
+
+def test_save_returns_merged_count_and_is_idempotent(tmp_path):
+    path = tmp_path / "qcache.json"
+    qc = QueryCache(maxsize=8)
+    qc.store("k", True)
+    assert qc.save(path) == 1
+    assert qc.save(path) == 1  # re-merging the same entries is stable
+
+
+def test_two_process_concurrent_save_loses_nothing(tmp_path):
+    """Two real OS processes flushing disjoint tiers concurrently: the
+    flock + read-merge-write protocol must end with the full union."""
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    script = (
+        "import sys\n"
+        f"sys.path.insert(0, {src!r})\n"
+        "from repro.smt.qcache import QueryCache\n"
+        "path, tag = sys.argv[1], sys.argv[2]\n"
+        "qc = QueryCache(maxsize=256)\n"
+        "for i in range(100):\n"
+        "    qc.store(f'{tag}-{i}', i % 2 == 0)\n"
+        "    if i % 10 == 9:\n"
+        "        qc.save(path)\n"
+        "qc.save(path)\n"
+    )
+    path = tmp_path / "qcache.json"
+    procs = [
+        subprocess.Popen([sys.executable, "-c", script, str(path), tag])
+        for tag in ("a", "b")
+    ]
+    for p in procs:
+        assert p.wait() == 0
+    warm = QueryCache(maxsize=256)
+    assert warm.load(path) == 200  # no delta lost to a concurrent flush
+    for tag in ("a", "b"):
+        assert warm.lookup(f"{tag}-3") is False
+        assert warm.lookup(f"{tag}-4") is True
